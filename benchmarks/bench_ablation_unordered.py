@@ -1,0 +1,34 @@
+"""X5 — ablation: unordered vs ordered ROM codes.
+
+The scheme's detection argument needs the AND of two distinct code words
+to be a non-code word — true for every unordered code, false for ordered
+systematic codes of the same width.  The bench measures the silent-escape
+gap on identical decoders.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_unordered_ablation
+
+
+def test_bench_unordered_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_unordered_ablation,
+        kwargs=dict(n_bits=5, cycles=150),
+        iterations=1,
+        rounds=2,
+    )
+    assert result.coverage_unordered > 0
+
+
+def test_unordered_code_wins():
+    result = run_unordered_ablation(n_bits=5, cycles=300)
+    print(
+        f"\nAND-closure: unordered={result.unordered_is_and_closed} "
+        f"ordered={result.ordered_is_and_closed} | coverage: "
+        f"{result.coverage_unordered:.3f} vs {result.coverage_ordered:.3f}"
+    )
+    assert result.unordered_is_and_closed
+    assert not result.ordered_is_and_closed
+    # the ordered code silently swallows a large share of the faults
+    assert result.coverage_unordered - result.coverage_ordered > 0.2

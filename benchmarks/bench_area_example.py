@@ -1,0 +1,28 @@
+"""E5 — §IV worked area example (analytic model, k = 0.3)."""
+
+import pytest
+
+from repro.experiments.area_example import generate_area_example
+
+
+def test_bench_area_example(benchmark):
+    example = benchmark(generate_area_example)
+    assert example.total_percent > 0
+
+
+def test_area_example_matches_paper():
+    ex = generate_area_example()
+    print(
+        f"\nROMs {ex.rom_percent:.2f}% (paper text 1.9, formula 1.24) | "
+        f"parity bit {ex.parity_bit_percent:.2f}% (paper 6.25) | "
+        f"parity checker {ex.parity_checker_percent:.2f}% (paper 0.15) | "
+        f"total {ex.total_percent:.2f}% (paper 8.3)"
+    )
+    # the two parity terms match the paper exactly
+    assert ex.parity_bit_percent == pytest.approx(6.25)
+    assert ex.parity_checker_percent == pytest.approx(0.15)
+    # the ROM term follows the printed formula (documented 1.9 gap)
+    assert ex.rom_percent == pytest.approx(1.245, abs=0.01)
+    # the qualitative claim: decoder checking costs a fraction of the
+    # mandatory parity bit overhead
+    assert ex.rom_percent < ex.parity_bit_percent

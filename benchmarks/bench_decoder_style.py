@@ -1,0 +1,46 @@
+"""X10 — single-level vs multilevel decoders under the parity scheme.
+
+The §III observation that motivates the whole paper, as a measured
+experiment: who wins (flat+parity ≈ tree+mod-a >> tree+parity) and by
+what kind of factor (mean first-error latency an order of magnitude
+apart).
+"""
+
+import pytest
+
+from repro.experiments.decoder_style import run_decoder_style_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_decoder_style_experiment(n_bits=6, cycles=400, seed=23)
+
+
+def test_bench_decoder_style(benchmark):
+    rows = benchmark.pedantic(
+        run_decoder_style_experiment,
+        kwargs=dict(n_bits=5, cycles=150, seed=2),
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == 3
+
+
+def test_style_orderings(results):
+    flat_parity, tree_parity, tree_mod = results
+    print()
+    for row in results:
+        print(
+            f"  {row.label:42s}: zero-latency "
+            f"{row.zero_latency_fraction:.2f}, worst "
+            f"{row.worst_latency}, mean {row.mean_latency:.2f}"
+        )
+    # parity is near-perfect on the single-level decoder...
+    assert flat_parity.zero_latency_fraction > 0.9
+    # ...degrades on the multilevel decoder ("low fault coverage and
+    # large detection latency")...
+    assert tree_parity.zero_latency_fraction < 0.9
+    assert tree_parity.worst_latency > 5 * max(1, flat_parity.worst_latency)
+    # ...and the paper's mod-a scheme restores it.
+    assert tree_mod.zero_latency_fraction > 0.9
+    assert tree_mod.mean_latency < tree_parity.mean_latency / 3

@@ -1,0 +1,45 @@
+"""X6 — SEC-DED baseline: ECC on the data path does not cover decoders.
+
+Shape assertions: SEC-DED costs several times the parity bit in check
+storage, and silently mis-handles a large fraction of decoder-merge
+patterns that the paper's ROM scheme flags by construction.
+"""
+
+import pytest
+
+from repro.experiments.ecc_baseline import (
+    run_ecc_baseline,
+    storage_overhead_rows,
+)
+
+
+def test_bench_ecc_baseline(benchmark):
+    result = benchmark.pedantic(
+        run_ecc_baseline,
+        kwargs=dict(data_bits=16, trials=500, seed=2),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.secded_merge.trials == 500
+
+
+def test_ecc_baseline_shape():
+    print()
+    for bits, parity_pct, secded_pct in storage_overhead_rows():
+        print(
+            f"  {bits:2d}-bit words: parity {parity_pct:5.2f} % vs "
+            f"SEC-DED {secded_pct:5.2f} % check storage"
+        )
+        # SEC-DED always costs several times the single parity bit
+        assert secded_pct >= 4 * parity_pct
+
+    result = run_ecc_baseline(data_bits=16, trials=2000, seed=17)
+    merge = result.secded_merge
+    print(
+        f"  merge outcomes (16-bit): detected {merge.detected_fraction:.1%},"
+        f" silent wrong {merge.silent_wrong_fraction:.1%}"
+    )
+    # who wins: the ROM scheme detects merges with probability 1 - 1/a
+    # per access independent of data; SEC-DED leaves a large silent hole.
+    assert merge.silent_wrong_fraction > 0.15
+    assert merge.detected_fraction < 0.9

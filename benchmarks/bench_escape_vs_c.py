@@ -1,0 +1,73 @@
+"""X2 — Pndc formula validation: worst-site escape vs c, analytic & measured.
+
+For the paper's worked code (3-out-of-5, a=9) the worst stuck-at-1 site
+escapes c cycles with probability (1/8)^c.  We pick the analytically
+worst site in a real decoder tree, replay many independent random
+streams, and compare the measured survival at several c against the
+formula — the trade-off curve the whole paper stands on.
+"""
+
+import pytest
+
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.latency import worst_escape_over_blocks
+from repro.core.mapping import mapping_for_code
+from repro.decoder.analysis import analyze_decoder
+from repro.faultsim.campaign import decoder_campaign
+from repro.faultsim.injector import random_addresses
+from repro.rom.nor_matrix import CheckedDecoder
+
+N_BITS = 6
+TRIALS = 400
+
+
+def measure_worst_site_survival(trials=TRIALS, horizon=12):
+    mapping = mapping_for_code(MOutOfNCode(3, 5), N_BITS)
+    checked = CheckedDecoder(mapping)
+    checker = MOutOfNChecker(3, 5, structural=False)
+    analysis = analyze_decoder(checked.tree, mapping)
+    # worst *error-producing* site: maximal escape among non-zero-latency
+    site = max(
+        (s for s in analysis.sa1_sites if not s.zero_latency),
+        key=lambda s: s.escape_per_cycle,
+    )
+    survived = [0] * (horizon + 1)
+    for trial in range(trials):
+        addresses = random_addresses(N_BITS, horizon, seed=1000 + trial)
+        result = decoder_campaign(
+            checked, checker, [site.fault], addresses,
+            attach_analytic=False,
+        )
+        first = result.records[0].first_detection
+        for c in range(1, horizon + 1):
+            if first is None or first >= c:
+                survived[c] += 1
+    return site, [count / trials for count in survived]
+
+
+def test_bench_escape_measurement(benchmark):
+    site, _ = benchmark.pedantic(
+        measure_worst_site_survival,
+        kwargs=dict(trials=60, horizon=6),
+        iterations=1,
+        rounds=1,
+    )
+    assert site.escape_per_cycle is not None
+
+
+def test_escape_vs_c_matches_formula():
+    site, survival = measure_worst_site_survival()
+    escape = float(site.escape_per_cycle)
+    print(f"\nworst site: width={site.block_width}, escape/cycle={escape}")
+    print("c | measured survival | analytic escape^c")
+    for c in (1, 2, 3, 4, 6, 8):
+        analytic = escape ** c
+        print(f"{c} | {survival[c]:.4f} | {analytic:.4f}")
+        # binomial noise at 400 trials: generous absolute tolerance
+        assert survival[c] == pytest.approx(analytic, abs=0.06), c
+
+    # the worst measured site agrees with the paper's ceil bound
+    bound = float(worst_escape_over_blocks(9, N_BITS))
+    assert escape <= bound
+    assert escape == pytest.approx(bound)

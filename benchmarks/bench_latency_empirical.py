@@ -1,0 +1,39 @@
+"""X1 — empirical detection-latency distribution vs the analytic model.
+
+The paper gives only the closed-form Pndc; this bench measures it by
+exhaustive stuck-at injection on a gate-level decoder and checks the
+survival curve tracks the analytic prediction.
+"""
+
+import pytest
+
+from repro.experiments.latency_empirical import run_latency_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_latency_experiment(n_bits=6, cycles=400, seed=7)
+
+
+def test_bench_latency_campaign(benchmark):
+    result = benchmark.pedantic(
+        run_latency_experiment,
+        kwargs=dict(n_bits=5, cycles=150, seed=1),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.coverage > 0.9
+
+
+def test_survival_curve_tracks_analytic(experiment):
+    print()
+    print("c | measured | analytic")
+    for c, (measured, analytic) in sorted(experiment.curve.items()):
+        print(f"{c:4d} | {measured:.4f} | {analytic:.4f}")
+        if c <= 100:
+            assert measured == pytest.approx(analytic, abs=0.1), c
+
+
+def test_zero_latency_and_coverage(experiment):
+    assert experiment.zero_latency_sa0
+    assert experiment.coverage > 0.95

@@ -1,0 +1,25 @@
+"""E3 — §II safety example: the three-orders-of-magnitude argument."""
+
+import math
+
+import pytest
+
+from repro.experiments.safety_example import generate_safety_example
+
+
+def test_bench_safety_example(benchmark):
+    example = benchmark(generate_safety_example)
+    assert example.rate_full_coverage_scheme > 0
+
+
+def test_safety_numbers_match_paper():
+    example = generate_safety_example()
+    print(
+        f"\nfull-coverage scheme: {example.rate_full_coverage_scheme:.3g}/h"
+        f" (paper 1e-9) | array-only: {example.rate_array_only:.3g}/h"
+        f" (paper ~1e-6) | lost: {example.orders_of_magnitude_lost:.2f}"
+        f" orders"
+    )
+    assert example.rate_full_coverage_scheme == pytest.approx(1e-9)
+    assert example.rate_array_only == pytest.approx(1e-6, rel=0.01)
+    assert example.orders_of_magnitude_lost == pytest.approx(3.0, abs=0.01)

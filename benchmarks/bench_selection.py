@@ -1,0 +1,38 @@
+"""E4 — §III.2 worked example: (c=10, Pndc=1e-9) -> a=8 -> 3-out-of-5, a=9.
+
+Also times the selection algorithm across the full parameter grid of both
+tables (it is the designer-facing entry point of the library).
+"""
+
+import pytest
+
+from repro.core.selection import SelectionPolicy, select_code
+
+
+def run_grid():
+    out = []
+    for c in (2, 5, 10, 20, 30, 40):
+        out.append(select_code(c, 1e-9, policy=SelectionPolicy.EXACT))
+    for pndc in (1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30):
+        out.append(
+            select_code(10, pndc, policy=SelectionPolicy.APPROXIMATE)
+        )
+    return out
+
+
+def test_bench_selection_grid(benchmark):
+    selections = benchmark(run_grid)
+    assert len(selections) == 12
+
+
+def test_worked_example_exact_numbers():
+    sel = select_code(10, 1e-9)
+    print(f"\n{sel.describe()}")
+    # the paper: "we find a = 8 and the code satisfying C >= 8+1 is the
+    # 3-out-of-5 code having C = 10.  The value of a used ... will be 9."
+    assert sel.code_name == "3-out-of-5"
+    assert sel.code.cardinality() == 10
+    assert sel.a_final == 9
+    # Pndc = (ceil(2^i/a)/2^i)^c = (1/8)^10 ~ 9.3e-10 <= 1e-9
+    assert sel.achieved_pndc == pytest.approx(2.0 ** -30)
+    assert sel.meets_target

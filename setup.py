@@ -1,0 +1,15 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e . --no-build-isolation` falls back to this legacy path;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

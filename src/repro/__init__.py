@@ -1,0 +1,94 @@
+"""repro — reproduction of Kebichi, Zorian & Nicolaidis, DATE 1995:
+"Area Versus Detection Latency Trade-Offs in Self-Checking Memory Design".
+
+Public API highlights
+---------------------
+
+Quick path (the paper's design flow)::
+
+    from repro import select_code, SelfCheckingMemory, MemoryOrganization
+
+    org = MemoryOrganization(words=2048, bits=16, column_mux=8)
+    # tolerate detection within 10 cycles, escape probability <= 1e-9
+    memory = SelfCheckingMemory.from_requirements(org, c=10, pndc=1e-9)
+    memory.write(42, (1, 0) * 8)
+    result = memory.read(42)
+    assert not result.error_detected
+
+Layer map
+---------
+
+=================  ========================================================
+``repro.codes``    parity / Berger / m-out-of-n / two-rail / Hamming codes
+``repro.circuits`` gate-level netlists, stuck-at faults, simulation
+``repro.decoder``  the §III.2 decoder tree and its analytic fault analysis
+``repro.rom``      NOR (ROM) matrices; decoder + ROM composition
+``repro.checkers`` parity / m-out-of-n / two-rail / Berger checkers + TSC
+                   property verifiers
+``repro.memory``   behavioural RAM / ROM / CAM and memory fault models
+``repro.area``     the §IV analytic model and the calibrated std-cell model
+``repro.core``     code selection, mappings, latency math, the figure-3
+                   scheme, safety model, trade-off explorer
+``repro.faultsim`` Monte-Carlo fault-injection campaigns
+``repro.experiments``  regenerators for every table/figure of the paper
+=================  ========================================================
+"""
+
+from repro.area.model import PaperAreaModel
+from repro.area.stdcell import StdCellAreaModel
+from repro.codes.m_out_of_n import MOutOfNCode, maximal_code_for_width
+from repro.codes.parity import ParityCode
+from repro.core.latency import (
+    escape_probability,
+    pndc,
+    worst_escape_over_blocks,
+)
+from repro.core.mapping import (
+    IdentityMapping,
+    ModAMapping,
+    ParityMapping,
+    mapping_for_code,
+)
+from repro.core.safety import SafetyModel
+from repro.core.scheme import ReadResult, SelfCheckingMemory
+from repro.core.selection import (
+    CodeSelection,
+    SelectionPolicy,
+    select_code,
+    select_zero_latency_code,
+)
+from repro.core.tradeoff import TradeoffExplorer
+from repro.memory.organization import (
+    PAPER_ORGS,
+    MemoryOrganization,
+    paper_org,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MOutOfNCode",
+    "maximal_code_for_width",
+    "ParityCode",
+    "select_code",
+    "select_zero_latency_code",
+    "SelectionPolicy",
+    "CodeSelection",
+    "ModAMapping",
+    "ParityMapping",
+    "IdentityMapping",
+    "mapping_for_code",
+    "escape_probability",
+    "worst_escape_over_blocks",
+    "pndc",
+    "SelfCheckingMemory",
+    "ReadResult",
+    "SafetyModel",
+    "TradeoffExplorer",
+    "MemoryOrganization",
+    "PAPER_ORGS",
+    "paper_org",
+    "PaperAreaModel",
+    "StdCellAreaModel",
+]

@@ -1,0 +1,116 @@
+"""Calibrated standard-cell area model — reproduces Tables 1 and 2.
+
+The paper measured real AT&T 0.4 µm standard-cell layouts (proprietary).
+We substitute a two-parameter physical model, calibrated once against the
+table slopes (see DESIGN.md §3):
+
+* RAM macro area, in RAM-cell-equivalents::
+
+      A_ram(capacity) = capacity + PERIPHERY * sqrt(capacity)
+
+  The square-root term models the row/column periphery (sense amps,
+  drivers, decoders) that dominates less as capacity grows — it is what
+  makes the relative overhead fall by slightly *less* than 2x per 4x
+  capacity step in the tables (24.8 → 13.7 → 7.3 instead of a pure
+  halving).
+
+* Decoder-check logic area ≈ ``ROM_CELL * r * (2^p + 2^s)`` — the two
+  NOR-matrix ROMs realised in standard cells, hence the large cell ratio
+  relative to the compiled RAM macro (the paper's k = 0.3 applies to a
+  dense ROM next to a dense RAM; a std-cell ROM next to a compiled RAM
+  macro is an order of magnitude worse, which is why Table 1's overheads
+  are ~20x the §IV analytic example).
+
+Calibration (two anchor ratios + one absolute point from Table 1):
+
+* slope ratios 4.93/2.74 and 2.74/1.46 (% per unit r across the three
+  RAM sizes) fix ``PERIPHERY = 53.5`` via
+  ``(4 + 2rho) / (1 + rho) = 3.544`` with ``rho = PERIPHERY/sqrt(c1)``;
+* the absolute anchor (16x2K, 3-out-of-5 ⇒ 24.8 %) fixes
+  ``ROM_CELL = 7.93``.
+
+With these two constants the model reproduces all 36 table entries within
+a few percent relative error (verified in tests and printed by the table
+benches).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.area.gatecount import m_out_of_n_checker_gates
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["StdCellAreaModel"]
+
+
+class StdCellAreaModel:
+    """Standard-cell implementation cost, calibrated to §IV's tables."""
+
+    #: periphery coefficient of the RAM macro model (cells per sqrt(bit))
+    PERIPHERY = 53.5
+    #: std-cell ROM cost per programmed bit, in RAM-cell-equivalents
+    ROM_CELL = 7.93
+    #: std-cell cost per checker gate, in RAM-cell-equivalents
+    CHECKER_GATE = 1.1
+
+    def __init__(
+        self,
+        periphery: Optional[float] = None,
+        rom_cell: Optional[float] = None,
+        include_checkers: bool = False,
+    ):
+        self.periphery = self.PERIPHERY if periphery is None else periphery
+        self.rom_cell = self.ROM_CELL if rom_cell is None else rom_cell
+        self.include_checkers = include_checkers
+
+    def ram_area(self, org: MemoryOrganization) -> float:
+        """RAM macro area in cell-equivalents (storage + periphery)."""
+        capacity = float(org.capacity_bits)
+        return capacity + self.periphery * math.sqrt(capacity)
+
+    def decoder_check_area(
+        self,
+        org: MemoryOrganization,
+        r_row: int,
+        r_column: Optional[int] = None,
+        m_row: Optional[int] = None,
+        m_column: Optional[int] = None,
+    ) -> float:
+        """Area of the two ROMs (plus checkers when enabled)."""
+        if r_column is None:
+            r_column = r_row
+        area = self.rom_cell * (
+            r_row * (1 << org.p) + r_column * (1 << org.s)
+        )
+        if self.include_checkers and m_row is not None:
+            gates = m_out_of_n_checker_gates(m_row, r_row)
+            if m_column is not None:
+                gates += m_out_of_n_checker_gates(m_column, r_column)
+            area += self.CHECKER_GATE * gates
+        return area
+
+    def overhead_percent(
+        self,
+        org: MemoryOrganization,
+        r_row: int,
+        r_column: Optional[int] = None,
+        m_row: Optional[int] = None,
+        m_column: Optional[int] = None,
+    ) -> float:
+        """Decoder-check overhead as % of the RAM macro — the table metric.
+
+        >>> model = StdCellAreaModel()
+        >>> org = MemoryOrganization(2048, 16, column_mux=8)
+        >>> round(model.overhead_percent(org, 5), 1)   # 3-out-of-5: ~24.8
+        24.7
+        """
+        added = self.decoder_check_area(
+            org, r_row, r_column, m_row, m_column
+        )
+        return 100.0 * added / self.ram_area(org)
+
+    def slope_percent_per_r(self, org: MemoryOrganization) -> float:
+        """Overhead per unit of code width r (both decoders same code)."""
+        return self.overhead_percent(org, 1)

@@ -1,0 +1,47 @@
+"""Checker interface and the shared error-indication convention.
+
+Every checker in this library emits a **two-rail error indication**
+``(z1, z2)``: the observed word is accepted iff ``z1 != z2``.  This is the
+classical self-checking convention — a valid indication is a 1-out-of-2
+code word, so single faults inside the checker itself cannot silently
+produce "accept" for every input (the property the TSC literature calls
+code-disjointness; :mod:`repro.checkers.properties` verifies it
+exhaustively for our gate-level checkers).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+__all__ = ["Checker", "indication_valid"]
+
+
+def indication_valid(indication: Sequence[int]) -> bool:
+    """True iff a two-rail error indication signals 'code word accepted'.
+
+    >>> indication_valid((0, 1))
+    True
+    >>> indication_valid((1, 1))
+    False
+    """
+    if len(indication) != 2:
+        raise ValueError(
+            f"two-rail indication must have 2 rails, got {len(indication)}"
+        )
+    return indication[0] != indication[1]
+
+
+class Checker(abc.ABC):
+    """A concurrent checker for one code."""
+
+    #: number of observed input bits
+    input_width: int
+
+    @abc.abstractmethod
+    def indication(self, word: Sequence[int]) -> Tuple[int, int]:
+        """Two-rail indication for an observed word."""
+
+    def accepts(self, word: Sequence[int]) -> bool:
+        """Convenience: True iff the indication is valid (word accepted)."""
+        return indication_valid(self.indication(word))

@@ -1,0 +1,80 @@
+"""Structural builders: balanced gate trees and buffered literals.
+
+These helpers compose the repeated structures of the paper's hardware:
+AND trees (decoder blocks), XOR trees (parity checkers and generators),
+OR/NOR reductions (error indication collection).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+__all__ = ["reduce_tree", "and_tree", "or_tree", "xor_tree", "literal_pair"]
+
+
+def reduce_tree(
+    circuit: Circuit,
+    gate_type: GateType,
+    nets: Sequence[int],
+    name: str = "tree",
+) -> int:
+    """Balanced binary reduction of ``nets`` with 2-input gates.
+
+    Returns the root net.  A single input is passed through unchanged
+    (no buffer inserted) so callers can reduce any non-empty list.
+
+    Note: only valid for associative gate functions (AND/OR/XOR and their
+    duals via De Morgan handled by callers); a plain NOR tree would *not*
+    compute an n-input NOR, so NOR is rejected.
+    """
+    if gate_type not in (GateType.AND, GateType.OR, GateType.XOR):
+        raise ValueError(
+            f"reduce_tree supports AND/OR/XOR, got {gate_type.value}"
+        )
+    layer: List[int] = list(nets)
+    if not layer:
+        raise ValueError("cannot reduce an empty net list")
+    level = 0
+    while len(layer) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(
+                circuit.add_gate(
+                    gate_type,
+                    (layer[i], layer[i + 1]),
+                    name=f"{name}_l{level}_{i // 2}",
+                )
+            )
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        level += 1
+    return layer[0]
+
+
+def and_tree(circuit: Circuit, nets: Sequence[int], name: str = "and") -> int:
+    """Balanced 2-input AND tree; returns the root net."""
+    return reduce_tree(circuit, GateType.AND, nets, name)
+
+
+def or_tree(circuit: Circuit, nets: Sequence[int], name: str = "or") -> int:
+    """Balanced 2-input OR tree; returns the root net."""
+    return reduce_tree(circuit, GateType.OR, nets, name)
+
+
+def xor_tree(circuit: Circuit, nets: Sequence[int], name: str = "xor") -> int:
+    """Balanced 2-input XOR tree; returns the root net."""
+    return reduce_tree(circuit, GateType.XOR, nets, name)
+
+
+def literal_pair(circuit: Circuit, net: int, name: str = "lit") -> tuple:
+    """(direct, complement) pair for an input — the 0-level decoding block.
+
+    The paper's 0-level uses one inverter per decoder input to provide the
+    true and complemented literals.  The direct literal is the net itself.
+    """
+    comp = circuit.add_gate(GateType.NOT, (net,), name=f"{name}_n")
+    return net, comp

@@ -1,0 +1,179 @@
+"""Structural stuck-at fault collapsing (equivalence classes).
+
+Standard EDA machinery: many single stuck-at faults are provably
+indistinguishable at the gate whose pin they sit on, so campaigns only
+need one representative per class.  The classical local rules:
+
+* NOT/BUF: input s-a-v ≡ output s-a-(v xor inverted);
+* AND:  any input s-a-0 ≡ output s-a-0 (controlling value);
+* NAND: any input s-a-0 ≡ output s-a-1;
+* OR:   any input s-a-1 ≡ output s-a-1;
+* NOR:  any input s-a-1 ≡ output s-a-0;
+* XOR/XNOR: no input/output equivalence;
+* a net with a single reader: the stem fault ≡ that reader's pin fault.
+
+Classes are built with union-find over fault keys.  Collapsing is purely
+structural and conservative: two faults in one class are *guaranteed*
+functionally equivalent (the test suite re-proves this by exhaustive
+simulation on randomly built circuits).
+
+For the paper's decoder trees the collapse ratio is substantial — the
+AND-tree structure chains controlling values level to level — which is
+what makes exhaustive campaigns on wider decoders affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuits.faults import FaultBase, NetStuckAt, PinStuckAt
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+__all__ = [
+    "FaultClasses",
+    "collapse_faults",
+    "representative_faults",
+]
+
+#: controlling input value and the output value it forces, per gate type
+_CONTROLLING: Dict[GateType, Tuple[int, int]] = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[Tuple, Tuple] = {}
+
+    def add(self, key: Tuple) -> None:
+        self.parent.setdefault(key, key)
+
+    def find(self, key: Tuple) -> Tuple:
+        root = key
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[key] != root:  # path compression
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a: Tuple, b: Tuple) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class FaultClasses:
+    """The result of collapsing: classes of equivalent stuck-at faults."""
+
+    def __init__(self, classes: List[List[FaultBase]], total: int):
+        self.classes = classes
+        self.total = total
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def collapse_ratio(self) -> float:
+        """collapsed / original fault count (lower = more collapsing)."""
+        return self.num_classes / self.total if self.total else 1.0
+
+    def representatives(self) -> List[FaultBase]:
+        """One fault per class (the class's first member)."""
+        return [cls[0] for cls in self.classes]
+
+    def class_of(self, fault: FaultBase) -> List[FaultBase]:
+        for cls in self.classes:
+            if any(f.key() == fault.key() for f in cls):
+                return cls
+        raise KeyError(f"fault {fault!r} not in any class")
+
+
+def _full_fault_universe(circuit: Circuit) -> List[FaultBase]:
+    """Every net fault and every pin fault, both polarities."""
+    faults: List[FaultBase] = []
+    for net in circuit.input_nets:
+        for value in (0, 1):
+            faults.append(NetStuckAt(net, value))
+    for gate in circuit.gates:
+        for value in (0, 1):
+            faults.append(NetStuckAt(gate.output, value))
+        for pin in range(len(gate.inputs)):
+            for value in (0, 1):
+                faults.append(PinStuckAt(gate.index, pin, value))
+    return faults
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Sequence[FaultBase] = None
+) -> FaultClasses:
+    """Partition the fault universe into structural equivalence classes.
+
+    When ``faults`` is given, only those faults are classified (classes
+    are intersected with the given set after collapsing over the full
+    universe, so equivalences through unlisted faults still merge).
+    """
+    universe = _full_fault_universe(circuit)
+    uf = _UnionFind()
+    for fault in universe:
+        uf.add(fault.key())
+
+    fanout: Dict[int, List[Tuple[int, int]]] = {}
+    for gate in circuit.gates:
+        for pin, net in enumerate(gate.inputs):
+            fanout.setdefault(net, []).append((gate.index, pin))
+
+    # Rule 1: single-reader stems — stem fault ≡ the lone pin fault.
+    for net, readers in fanout.items():
+        if len(readers) == 1:
+            gate_index, pin = readers[0]
+            for value in (0, 1):
+                uf.union(
+                    ("net", net, value),
+                    ("pin", gate_index, pin, value),
+                )
+
+    for gate in circuit.gates:
+        # Rule 2: inverting/buffering single-input gates.
+        if gate.gate_type in (GateType.NOT, GateType.BUF):
+            invert = 1 if gate.gate_type is GateType.NOT else 0
+            for value in (0, 1):
+                uf.union(
+                    ("pin", gate.index, 0, value),
+                    ("net", gate.output, value ^ invert),
+                )
+        # Rule 3: controlling values.
+        control = _CONTROLLING.get(gate.gate_type)
+        if control is not None:
+            in_value, out_value = control
+            for pin in range(len(gate.inputs)):
+                uf.union(
+                    ("pin", gate.index, pin, in_value),
+                    ("net", gate.output, out_value),
+                )
+
+    by_root: Dict[Tuple, List[FaultBase]] = {}
+    for fault in universe:
+        by_root.setdefault(uf.find(fault.key()), []).append(fault)
+
+    if faults is not None:
+        wanted = {f.key() for f in faults}
+        classes = []
+        for members in by_root.values():
+            kept = [f for f in members if f.key() in wanted]
+            if kept:
+                classes.append(kept)
+        total = len(wanted)
+    else:
+        classes = list(by_root.values())
+        total = len(universe)
+    return FaultClasses(classes, total)
+
+
+def representative_faults(circuit: Circuit) -> List[FaultBase]:
+    """Convenience: one representative per equivalence class."""
+    return collapse_faults(circuit).representatives()

@@ -1,0 +1,122 @@
+"""Single stuck-at fault model and fault-list enumeration.
+
+The paper's analysis (§III.2) considers single stuck-at faults on the
+nodes of the decoder's 2-input-gate network.  Two flavours are modelled:
+
+* :class:`NetStuckAt` — a net (gate output or primary input) is stuck,
+  affecting every reader of the net (stem fault);
+* :class:`PinStuckAt` — a single gate input pin is stuck (branch fault),
+  which matters in the decoder tree because decoding blocks share gates.
+
+A :class:`FaultBase` knows how to register itself into the two override
+maps the evaluator consults, keeping :class:`~repro.circuits.netlist.Circuit`
+immutable across a campaign.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "FaultBase",
+    "NetStuckAt",
+    "PinStuckAt",
+    "enumerate_stuck_at_faults",
+]
+
+
+class FaultBase(abc.ABC):
+    """A single structural fault injectable at evaluation time."""
+
+    @abc.abstractmethod
+    def register(
+        self,
+        net_faults: Dict[int, int],
+        pin_faults: Dict[Tuple[int, int], int],
+    ) -> None:
+        """Record this fault into the evaluator override maps."""
+
+    @abc.abstractmethod
+    def key(self) -> Tuple:
+        """Hashable identity used for dedup and reporting."""
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultBase) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class NetStuckAt(FaultBase):
+    """Net ``net`` permanently at ``value`` (stem stuck-at)."""
+
+    __slots__ = ("net", "value")
+
+    def __init__(self, net: int, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+        self.net = net
+        self.value = value
+
+    def register(self, net_faults, pin_faults) -> None:
+        net_faults[self.net] = self.value
+
+    def key(self) -> Tuple:
+        return ("net", self.net, self.value)
+
+    def __repr__(self) -> str:
+        return f"NetStuckAt(n{self.net}/sa{self.value})"
+
+
+class PinStuckAt(FaultBase):
+    """Input pin ``pin`` of gate ``gate_index`` permanently at ``value``."""
+
+    __slots__ = ("gate_index", "pin", "value")
+
+    def __init__(self, gate_index: int, pin: int, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+        self.gate_index = gate_index
+        self.pin = pin
+        self.value = value
+
+    def register(self, net_faults, pin_faults) -> None:
+        pin_faults[(self.gate_index, self.pin)] = self.value
+
+    def key(self) -> Tuple:
+        return ("pin", self.gate_index, self.pin, self.value)
+
+    def __repr__(self) -> str:
+        return f"PinStuckAt(g{self.gate_index}.{self.pin}/sa{self.value})"
+
+
+def enumerate_stuck_at_faults(
+    circuit,
+    include_inputs: bool = True,
+    include_pins: bool = False,
+    values: Iterable[int] = (0, 1),
+) -> List[FaultBase]:
+    """Full single-stuck-at fault list for a circuit.
+
+    By default: every gate output net and (optionally) every primary input
+    net, for both polarities.  ``include_pins`` additionally enumerates
+    branch faults on every gate input pin — only meaningful where nets fan
+    out, but we enumerate uniformly and let the caller collapse
+    equivalences.
+    """
+    faults: List[FaultBase] = []
+    values = tuple(values)
+    if include_inputs:
+        for net in circuit.input_nets:
+            for value in values:
+                faults.append(NetStuckAt(net, value))
+    for gate in circuit.gates:
+        for value in values:
+            faults.append(NetStuckAt(gate.output, value))
+    if include_pins:
+        for gate in circuit.gates:
+            for pin in range(len(gate.inputs)):
+                for value in values:
+                    faults.append(PinStuckAt(gate.index, pin, value))
+    return faults

@@ -1,0 +1,82 @@
+"""Gate primitives for the structural (gate-level) circuit substrate.
+
+The decoder trees of §III.2 are built from inverters and 2-input AND
+gates; NOR matrices, parity checkers and two-rail checkers add NOR, XOR
+and NOT.  Every gate type evaluates a tuple of input bits to one output
+bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Sequence
+
+__all__ = ["GateType", "evaluate_gate", "GATE_ARITY"]
+
+
+class GateType(enum.Enum):
+    """Supported combinational primitives."""
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+#: Arity constraints per gate type: (min_inputs, max_inputs or None).
+GATE_ARITY: Dict[GateType, tuple] = {
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NAND: (2, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+
+def _xor_all(bits: Sequence[int]) -> int:
+    acc = 0
+    for bit in bits:
+        acc ^= bit
+    return acc
+
+
+_EVALUATORS: Dict[GateType, Callable[[Sequence[int]], int]] = {
+    GateType.BUF: lambda bits: bits[0],
+    GateType.NOT: lambda bits: bits[0] ^ 1,
+    GateType.AND: lambda bits: int(all(bits)),
+    GateType.OR: lambda bits: int(any(bits)),
+    GateType.NAND: lambda bits: int(not all(bits)),
+    GateType.NOR: lambda bits: int(not any(bits)),
+    GateType.XOR: _xor_all,
+    GateType.XNOR: lambda bits: _xor_all(bits) ^ 1,
+    GateType.CONST0: lambda bits: 0,
+    GateType.CONST1: lambda bits: 1,
+}
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate one gate.
+
+    >>> evaluate_gate(GateType.NOR, (0, 0, 0))
+    1
+    >>> evaluate_gate(GateType.XOR, (1, 1, 1))
+    1
+    """
+    lo, hi = GATE_ARITY[gate_type]
+    if len(inputs) < lo or (hi is not None and len(inputs) > hi):
+        raise ValueError(
+            f"{gate_type.value} expects arity in [{lo}, {hi}], "
+            f"got {len(inputs)} inputs"
+        )
+    return _EVALUATORS[gate_type](inputs)

@@ -1,0 +1,225 @@
+"""Netlist representation and levelized evaluation.
+
+A :class:`Circuit` is a DAG of gates over integer net ids.  Primary inputs
+are declared nets; every gate drives exactly one new net.  Evaluation is
+levelized (topological order is the insertion order, enforced at
+construction: a gate may only read nets that already exist), which keeps
+simulation a simple linear pass — fast enough in pure Python for the
+decoder sizes of the paper (up to ~2^10 outputs, a few thousand gates).
+
+Faults are *not* stored in the circuit; they are passed to
+:meth:`Circuit.evaluate` so one immutable netlist serves a whole
+fault-injection campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import GATE_ARITY, GateType, evaluate_gate
+from repro.circuits.faults import FaultBase
+
+__all__ = ["Gate", "Circuit"]
+
+
+class Gate:
+    """One gate instance: ``output_net = type(inputs...)``."""
+
+    __slots__ = ("index", "gate_type", "inputs", "output", "name")
+
+    def __init__(
+        self,
+        index: int,
+        gate_type: GateType,
+        inputs: Tuple[int, ...],
+        output: int,
+        name: str,
+    ):
+        self.index = index
+        self.gate_type = gate_type
+        self.inputs = inputs
+        self.output = output
+        self.name = name
+
+    def __repr__(self) -> str:
+        ins = ",".join(map(str, self.inputs))
+        return (
+            f"Gate#{self.index} {self.name}: "
+            f"n{self.output} = {self.gate_type.value}({ins})"
+        )
+
+
+class Circuit:
+    """A combinational netlist with named primary inputs and outputs."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.gates: List[Gate] = []
+        self._num_nets = 0
+        self._input_nets: List[int] = []
+        self._input_names: List[str] = []
+        self._output_nets: List[int] = []
+        self._output_names: List[str] = []
+        self._net_driver: Dict[int, int] = {}  # net -> gate index
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its net id."""
+        net = self._new_net()
+        self._input_nets.append(net)
+        self._input_names.append(name)
+        return net
+
+    def add_inputs(self, names: Iterable[str]) -> List[int]:
+        return [self.add_input(n) for n in names]
+
+    def add_gate(
+        self,
+        gate_type: GateType,
+        inputs: Sequence[int],
+        name: str = "",
+    ) -> int:
+        """Append a gate reading existing nets; returns its output net id."""
+        inputs = tuple(inputs)
+        lo, hi = GATE_ARITY[gate_type]
+        if len(inputs) < lo or (hi is not None and len(inputs) > hi):
+            raise ValueError(
+                f"{gate_type.value} arity must be in [{lo}, {hi}], "
+                f"got {len(inputs)}"
+            )
+        for net in inputs:
+            if not 0 <= net < self._num_nets:
+                raise ValueError(f"gate reads undeclared net {net}")
+        output = self._new_net()
+        gate = Gate(
+            len(self.gates),
+            gate_type,
+            inputs,
+            output,
+            name or f"{gate_type.value}{len(self.gates)}",
+        )
+        self.gates.append(gate)
+        self._net_driver[output] = gate.index
+        return output
+
+    def mark_output(self, net: int, name: str = "") -> None:
+        """Declare a net as a primary output (order of calls = output order)."""
+        if not 0 <= net < self._num_nets:
+            raise ValueError(f"cannot mark undeclared net {net} as output")
+        self._output_nets.append(net)
+        self._output_names.append(name or f"out{len(self._output_nets) - 1}")
+
+    def _new_net(self) -> int:
+        net = self._num_nets
+        self._num_nets += 1
+        return net
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def num_nets(self) -> int:
+        return self._num_nets
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def input_nets(self) -> Tuple[int, ...]:
+        return tuple(self._input_nets)
+
+    @property
+    def output_nets(self) -> Tuple[int, ...]:
+        return tuple(self._output_nets)
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(self._input_names)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(self._output_names)
+
+    def driver_of(self, net: int) -> Optional[Gate]:
+        """The gate driving ``net``; None for primary inputs."""
+        idx = self._net_driver.get(net)
+        return None if idx is None else self.gates[idx]
+
+    def fanout_of(self, net: int) -> List[Tuple[int, int]]:
+        """(gate index, pin index) pairs reading ``net``."""
+        return [
+            (gate.index, pin)
+            for gate in self.gates
+            for pin, src in enumerate(gate.inputs)
+            if src == net
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Gate-count summary per type plus totals (used by area models)."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.gate_type.value] = counts.get(gate.gate_type.value, 0) + 1
+        counts["gates"] = len(self.gates)
+        counts["nets"] = self._num_nets
+        counts["inputs"] = len(self._input_nets)
+        counts["outputs"] = len(self._output_nets)
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._input_nets)}, "
+            f"outputs={len(self._output_nets)}, gates={len(self.gates)})"
+        )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        input_values: Sequence[int],
+        faults: Sequence[FaultBase] = (),
+    ) -> Tuple[int, ...]:
+        """Evaluate the circuit, optionally with injected stuck-at faults.
+
+        ``input_values`` follows the order primary inputs were added.
+        Returns the primary outputs in :meth:`mark_output` order.
+        """
+        if len(input_values) != len(self._input_nets):
+            raise ValueError(
+                f"expected {len(self._input_nets)} input values, "
+                f"got {len(input_values)}"
+            )
+        values: List[int] = [0] * self._num_nets
+        for net, bit in zip(self._input_nets, input_values):
+            if bit not in (0, 1):
+                raise ValueError(f"input bits must be 0/1, got {bit!r}")
+            values[net] = bit
+
+        net_faults: Dict[int, int] = {}
+        pin_faults: Dict[Tuple[int, int], int] = {}
+        for fault in faults:
+            fault.register(net_faults, pin_faults)
+
+        for net, forced in net_faults.items():
+            if net in self._input_nets or self._net_driver.get(net) is None:
+                values[net] = forced
+
+        for gate in self.gates:
+            ins = []
+            for pin, src in enumerate(gate.inputs):
+                forced = pin_faults.get((gate.index, pin))
+                ins.append(values[src] if forced is None else forced)
+            out_value = evaluate_gate(gate.gate_type, ins)
+            forced = net_faults.get(gate.output)
+            values[gate.output] = out_value if forced is None else forced
+
+        return tuple(values[net] for net in self._output_nets)
+
+    def evaluate_named(
+        self,
+        input_values: Sequence[int],
+        faults: Sequence[FaultBase] = (),
+    ) -> Dict[str, int]:
+        """Like :meth:`evaluate` but returns ``{output_name: bit}``."""
+        outs = self.evaluate(input_values, faults)
+        return dict(zip(self._output_names, outs))

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the experiment regenerators plus the designer-facing
+flows (code selection, full design reports).  Everything prints plain
+text and needs no network or data files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.report import design_report
+from repro.core.selection import SelectionPolicy, select_code
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    policy = SelectionPolicy(args.policy)
+    selection = select_code(args.cycles, args.pndc, policy=policy)
+    print(selection.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    org = MemoryOrganization(
+        words=args.words, bits=args.bits, column_mux=args.mux
+    )
+    print(
+        design_report(
+            org,
+            c=args.cycles,
+            pndc=args.pndc,
+            policy=SelectionPolicy(args.policy),
+            column_zero_latency=not args.shared_column_code,
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    table1.main()
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+
+    table2.main()
+    return 0
+
+
+def _cmd_safety(args: argparse.Namespace) -> int:
+    from repro.experiments import safety_example
+
+    safety_example.main()
+    return 0
+
+
+def _cmd_area_example(args: argparse.Namespace) -> int:
+    from repro.experiments import area_example
+
+    area_example.main()
+    return 0
+
+
+def _cmd_structure(args: argparse.Namespace) -> int:
+    from repro.experiments import structure
+
+    structure.main()
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.experiments import latency_empirical
+
+    latency_empirical.main()
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    ablations.main()
+    return 0
+
+
+def _cmd_ecc(args: argparse.Namespace) -> int:
+    from repro.experiments import ecc_baseline
+
+    ecc_baseline.main()
+    return 0
+
+
+def _cmd_decoder_style(args: argparse.Namespace) -> int:
+    from repro.experiments import decoder_style
+
+    decoder_style.main()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    figures.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Area Versus Detection Latency Trade-Offs in "
+            "Self-Checking Memory Design' (DATE 1995)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    select = sub.add_parser(
+        "select", help="size an unordered code from (c, Pndc)"
+    )
+    select.add_argument("--cycles", "-c", type=int, required=True)
+    select.add_argument("--pndc", "-p", type=float, required=True)
+    select.add_argument(
+        "--policy",
+        choices=[p.value for p in SelectionPolicy],
+        default=SelectionPolicy.EXACT.value,
+    )
+    select.set_defaults(func=_cmd_select)
+
+    report = sub.add_parser(
+        "report", help="full design report for one memory + requirement"
+    )
+    report.add_argument("--words", type=int, required=True)
+    report.add_argument("--bits", type=int, required=True)
+    report.add_argument("--mux", type=int, default=8)
+    report.add_argument("--cycles", "-c", type=int, required=True)
+    report.add_argument("--pndc", "-p", type=float, required=True)
+    report.add_argument(
+        "--policy",
+        choices=[p.value for p in SelectionPolicy],
+        default=SelectionPolicy.EXACT.value,
+    )
+    report.add_argument(
+        "--shared-column-code",
+        action="store_true",
+        help="use the row code on the column decoder (tables' convention) "
+        "instead of a zero-latency column mapping",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    for name, func, help_text in (
+        ("table1", _cmd_table1, "regenerate Table 1"),
+        ("table2", _cmd_table2, "regenerate Table 2"),
+        ("safety", _cmd_safety, "regenerate the SII safety example"),
+        ("area-example", _cmd_area_example, "regenerate the SIV example"),
+        ("structure", _cmd_structure, "verify the figure-3 structure"),
+        ("latency", _cmd_latency, "empirical latency validation"),
+        ("ablations", _cmd_ablations, "odd-a and unordered-code ablations"),
+        ("ecc-baseline", _cmd_ecc, "SEC-DED baseline comparison"),
+        (
+            "decoder-style",
+            _cmd_decoder_style,
+            "single-level vs multilevel decoder comparison",
+        ),
+        ("figures", _cmd_figures, "ASCII trade-off and survival curves"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

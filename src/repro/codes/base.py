@@ -1,0 +1,97 @@
+"""Abstract interface shared by every error-detecting code in the library.
+
+A *code* here is a finite set of bit vectors (code words) of a fixed
+length, together with (optionally) an encoder from information words.  The
+paper manipulates codes both ways:
+
+* as a *code space* — "is this output vector a code word?" (checkers),
+* as an *encoder* — "what code word does this information word map to?"
+  (the ROM matrix programming, the parity bit of the data path).
+
+Concrete subclasses: :class:`~repro.codes.parity.ParityCode`,
+:class:`~repro.codes.berger.BergerCode`,
+:class:`~repro.codes.m_out_of_n.MOutOfNCode`,
+:class:`~repro.codes.two_rail.TwoRailCode`,
+:class:`~repro.codes.hamming.HammingCode`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Sequence, Tuple
+
+BitVector = Tuple[int, ...]
+
+__all__ = ["BitVector", "Code", "validate_bits"]
+
+
+def validate_bits(bits: Sequence[int]) -> BitVector:
+    """Normalise a bit sequence to a tuple and reject non-binary entries."""
+    vec = tuple(bits)
+    for bit in vec:
+        if bit not in (0, 1):
+            raise ValueError(f"bit vector may contain only 0/1, got {bit!r}")
+    return vec
+
+
+class Code(abc.ABC):
+    """A finite block code over GF(2), seen as a set of code words."""
+
+    #: total length of each code word in bits
+    length: int
+
+    @abc.abstractmethod
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        """True iff ``word`` belongs to the code."""
+
+    @abc.abstractmethod
+    def words(self) -> Iterator[BitVector]:
+        """Iterate over every code word (order is implementation-defined)."""
+
+    def cardinality(self) -> int:
+        """Number of code words.  Subclasses override with a closed form."""
+        return sum(1 for _ in self.words())
+
+    # -- properties the paper relies on ------------------------------------
+
+    def is_unordered(self) -> bool:
+        """True iff no code word covers another (see :mod:`repro.codes.unordered`).
+
+        Unorderedness is the property that makes the NOR-matrix scheme
+        work: the bitwise AND of two *distinct* unordered code words is
+        covered by both, hence cannot itself be a code word.
+        """
+        from repro.codes.unordered import is_unordered_code
+
+        return is_unordered_code(self.words())
+
+    def minimum_distance(self) -> int:
+        """Minimum pairwise Hamming distance (exhaustive; small codes only)."""
+        from repro.utils.bitops import hamming_distance
+
+        words = list(self.words())
+        if len(words) < 2:
+            raise ValueError("minimum distance needs at least two code words")
+        return min(
+            hamming_distance(a, b)
+            for i, a in enumerate(words)
+            for b in words[i + 1 :]
+        )
+
+    def assert_contains(self, word: Sequence[int]) -> None:
+        """Raise ``ValueError`` unless ``word`` is a code word."""
+        if not self.is_codeword(word):
+            raise ValueError(f"{tuple(word)} is not a code word of {self!r}")
+
+    def noncode_words(self) -> Iterable[BitVector]:
+        """Iterate every *non*-code word of the ambient space (2^length words).
+
+        Only sensible for short codes; used by the checker property
+        verifiers (code-disjointness needs the full non-code space).
+        """
+        from repro.utils.bitops import all_bit_vectors
+
+        members = set(self.words())
+        for vec in all_bit_vectors(self.length):
+            if vec not in members:
+                yield vec

@@ -1,0 +1,86 @@
+"""Berger code — the unordered systematic code referenced in §III.
+
+A Berger code word is ``information bits + check bits``, where the check
+bits are the binary count of the *zeros* in the information bits.  Berger
+codes are the cheapest *systematic* unordered codes: any 0->1 error
+strictly decreases the zero count while possibly increasing the stored
+count, so no code word can cover another.
+
+The paper cites the Berger variant of Nicolaidis'94 (check bits over the
+decoder *inputs*) as the zero-latency endpoint of the trade-off, and the
+mod-a construction uses ``(n-k) + ceil(log2(n-k))`` ROM outputs when built
+from a truncated Berger mapping (§III.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+from repro.codes.base import BitVector, Code, validate_bits
+from repro.utils.bitops import all_bit_vectors, bits_to_int, int_to_bits
+
+__all__ = ["BergerCode", "berger_check_width"]
+
+
+def berger_check_width(info_bits: int) -> int:
+    """Number of check bits: ``ceil(log2(info_bits + 1))``.
+
+    The zero count ranges over ``0 .. info_bits`` inclusive, hence needs
+    ``ceil(log2(info_bits + 1))`` bits.
+
+    >>> berger_check_width(4)
+    3
+    >>> berger_check_width(3)
+    2
+    """
+    if info_bits < 1:
+        raise ValueError(f"info_bits must be >= 1, got {info_bits}")
+    return max(1, math.ceil(math.log2(info_bits + 1)))
+
+
+class BergerCode(Code):
+    """Berger code over ``info_bits`` information bits.
+
+    >>> code = BergerCode(3)
+    >>> code.encode((0, 1, 0))       # two zeros -> check bits 10
+    (0, 1, 0, 1, 0)
+    >>> code.is_unordered()
+    True
+    """
+
+    def __init__(self, info_bits: int):
+        self.info_bits = info_bits
+        self.check_bits = berger_check_width(info_bits)
+        self.length = self.info_bits + self.check_bits
+
+    def __repr__(self) -> str:
+        return f"BergerCode(info_bits={self.info_bits})"
+
+    def check_value(self, info: Sequence[int]) -> int:
+        """Zero count of the information part."""
+        info = validate_bits(info)
+        if len(info) != self.info_bits:
+            raise ValueError(
+                f"expected {self.info_bits} information bits, got {len(info)}"
+            )
+        return self.info_bits - sum(info)
+
+    def encode(self, info: Sequence[int]) -> BitVector:
+        info = validate_bits(info)
+        check = int_to_bits(self.check_value(info), self.check_bits)
+        return info + check
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        word = validate_bits(word)
+        if len(word) != self.length:
+            return False
+        info, check = word[: self.info_bits], word[self.info_bits :]
+        return bits_to_int(check) == self.info_bits - sum(info)
+
+    def words(self) -> Iterator[BitVector]:
+        for info in all_bit_vectors(self.info_bits):
+            yield self.encode(info)
+
+    def cardinality(self) -> int:
+        return 1 << self.info_bits

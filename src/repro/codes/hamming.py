@@ -1,0 +1,196 @@
+"""Hamming SEC and SEC-DED codes — the classical ECC baseline.
+
+The paper's scheme is *error detecting* (parity on the data path, unordered
+codes on the decoders).  The standard industrial alternative for memory
+protection is a Hamming single-error-correcting (SEC) code, optionally
+extended with an overall parity bit for double-error detection (SEC-DED,
+Hsiao-style).  We implement it as a baseline so the trade-off benches can
+compare check-bit overheads (an ECC word of m data bits needs
+``ceil(log2(m)) + 1``-ish check bits versus the single parity bit of the
+paper) and so the memory substrate can model corrected-vs-detected
+behaviour.
+
+Layout convention: systematic — ``word = data + check`` with check bits
+appended.  Internally the encoder uses the textbook positional Hamming
+construction (check bits at power-of-two positions) and permutes to the
+systematic layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.codes.base import BitVector, Code, validate_bits
+from repro.utils.bitops import all_bit_vectors
+
+__all__ = ["HammingCode", "hamming_check_bits", "DecodeResult"]
+
+
+def hamming_check_bits(data_bits: int) -> int:
+    """Minimum ``p`` with ``2**p >= data_bits + p + 1`` (SEC check bits).
+
+    >>> hamming_check_bits(4)
+    3
+    >>> hamming_check_bits(16)
+    5
+    >>> hamming_check_bits(64)
+    7
+    """
+    if data_bits < 1:
+        raise ValueError(f"data_bits must be >= 1, got {data_bits}")
+    p = 1
+    while (1 << p) < data_bits + p + 1:
+        p += 1
+    return p
+
+
+class DecodeResult:
+    """Outcome of decoding a possibly corrupted ECC word."""
+
+    __slots__ = ("data", "corrected", "detected_uncorrectable")
+
+    def __init__(
+        self,
+        data: Optional[BitVector],
+        corrected: bool,
+        detected_uncorrectable: bool,
+    ):
+        self.data = data
+        self.corrected = corrected
+        self.detected_uncorrectable = detected_uncorrectable
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodeResult(data={self.data}, corrected={self.corrected}, "
+            f"detected_uncorrectable={self.detected_uncorrectable})"
+        )
+
+
+class HammingCode(Code):
+    """Hamming SEC code, optionally extended to SEC-DED.
+
+    >>> code = HammingCode(4)
+    >>> word = code.encode((1, 0, 1, 1))
+    >>> code.is_codeword(word)
+    True
+    >>> flipped = list(word); flipped[2] ^= 1
+    >>> code.decode(flipped).data
+    (1, 0, 1, 1)
+    """
+
+    def __init__(self, data_bits: int, extended: bool = False):
+        if data_bits < 1:
+            raise ValueError(f"data_bits must be >= 1, got {data_bits}")
+        self.data_bits = data_bits
+        self.extended = extended
+        self.sec_check_bits = hamming_check_bits(data_bits)
+        self.check_bits = self.sec_check_bits + (1 if extended else 0)
+        self.length = data_bits + self.check_bits
+        # Positional layout of the inner SEC code (1-indexed positions).
+        self._positional_len = data_bits + self.sec_check_bits
+        self._data_positions = [
+            pos
+            for pos in range(1, self._positional_len + 1)
+            if pos & (pos - 1) != 0  # not a power of two
+        ]
+        self._check_positions = [
+            1 << i for i in range(self.sec_check_bits)
+        ]
+
+    def __repr__(self) -> str:
+        kind = "SEC-DED" if self.extended else "SEC"
+        return f"HammingCode(data_bits={self.data_bits}, {kind})"
+
+    # -- encoding ------------------------------------------------------------
+
+    def _positional_encode(self, data: Sequence[int]) -> List[int]:
+        """Fill data bits, then compute check bits at power-of-two slots."""
+        word = [0] * (self._positional_len + 1)  # 1-indexed; word[0] unused
+        for bit, pos in zip(data, self._data_positions):
+            word[pos] = bit
+        for check_pos in self._check_positions:
+            acc = 0
+            for pos in range(1, self._positional_len + 1):
+                if pos != check_pos and pos & check_pos:
+                    acc ^= word[pos]
+            word[check_pos] = acc
+        return word
+
+    def encode(self, data: Sequence[int]) -> BitVector:
+        """Systematic code word ``data + check (+ overall parity)``."""
+        data = validate_bits(data)
+        if len(data) != self.data_bits:
+            raise ValueError(
+                f"expected {self.data_bits} data bits, got {len(data)}"
+            )
+        word = self._positional_encode(data)
+        check = tuple(word[pos] for pos in self._check_positions)
+        out = data + check
+        if self.extended:
+            out = out + (sum(out) & 1,)
+        return out
+
+    def _syndrome(self, word: Sequence[int]) -> Tuple[int, int]:
+        """(syndrome, overall_parity_error) of a systematic word."""
+        data = word[: self.data_bits]
+        check = word[self.data_bits : self.data_bits + self.sec_check_bits]
+        positional = [0] * (self._positional_len + 1)
+        for bit, pos in zip(data, self._data_positions):
+            positional[pos] = bit
+        for bit, pos in zip(check, self._check_positions):
+            positional[pos] = bit
+        syndrome = 0
+        for check_pos in self._check_positions:
+            acc = 0
+            for pos in range(1, self._positional_len + 1):
+                if pos & check_pos:
+                    acc ^= positional[pos]
+            if acc:
+                syndrome |= check_pos
+        parity_error = 0
+        if self.extended:
+            parity_error = sum(word) & 1
+        return syndrome, parity_error
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        word = validate_bits(word)
+        if len(word) != self.length:
+            return False
+        syndrome, parity_error = self._syndrome(word)
+        return syndrome == 0 and parity_error == 0
+
+    def decode(self, word: Sequence[int]) -> DecodeResult:
+        """Correct single-bit errors; flag double errors when extended.
+
+        Returns the corrected data (or None when an uncorrectable error is
+        detected in SEC-DED mode).
+        """
+        word = validate_bits(word)
+        if len(word) != self.length:
+            raise ValueError(f"expected {self.length} bits, got {len(word)}")
+        syndrome, parity_error = self._syndrome(word)
+        if syndrome == 0 and parity_error == 0:
+            return DecodeResult(word[: self.data_bits], False, False)
+        if self.extended and syndrome != 0 and parity_error == 0:
+            # Nonzero syndrome with even overall parity => double error.
+            return DecodeResult(None, False, True)
+        if syndrome == 0 and parity_error == 1:
+            # Error confined to the overall parity bit itself.
+            return DecodeResult(word[: self.data_bits], True, False)
+        # Single-bit error at positional index `syndrome`.
+        if syndrome > self._positional_len:
+            return DecodeResult(None, False, True)
+        fixed = list(word)
+        if syndrome in self._check_positions:
+            idx = self.data_bits + self._check_positions.index(syndrome)
+        else:
+            idx = self._data_positions.index(syndrome)
+        fixed[idx] ^= 1
+        return DecodeResult(tuple(fixed[: self.data_bits]), True, False)
+
+    def words(self) -> Iterator[BitVector]:
+        for data in all_bit_vectors(self.data_bits):
+            yield self.encode(data)
+
+    def cardinality(self) -> int:
+        return 1 << self.data_bits

@@ -1,0 +1,70 @@
+"""Two-rail code — the backbone of self-checking checker design.
+
+A two-rail code word of ``pairs`` rails is a vector
+``(x1, y1, x2, y2, ..., xk, yk)`` with ``yi = not xi`` for every pair.  The
+classical TSC two-rail checker compresses k pairs into one pair; chains of
+such checkers implement the final error-indication stage of nearly every
+self-checking design, including the m-out-of-n checkers of the paper's
+figure 3 (via Anderson's translation of constant-weight codes into
+two-rail pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.codes.base import BitVector, Code, validate_bits
+from repro.utils.bitops import all_bit_vectors
+
+__all__ = ["TwoRailCode"]
+
+
+class TwoRailCode(Code):
+    """Two-rail code of ``pairs`` complementary rail pairs.
+
+    Words are laid out pairwise: ``(x1, ~x1, x2, ~x2, ...)``.
+
+    >>> code = TwoRailCode(2)
+    >>> code.is_codeword((0, 1, 1, 0))
+    True
+    >>> code.is_codeword((0, 1, 1, 1))
+    False
+    >>> code.cardinality()
+    4
+    """
+
+    def __init__(self, pairs: int):
+        if pairs < 1:
+            raise ValueError(f"pairs must be >= 1, got {pairs}")
+        self.pairs = pairs
+        self.length = 2 * pairs
+
+    def __repr__(self) -> str:
+        return f"TwoRailCode(pairs={self.pairs})"
+
+    def encode(self, rails: Sequence[int]) -> BitVector:
+        """Expand a plain bit vector into its two-rail representation.
+
+        >>> TwoRailCode(2).encode((1, 0))
+        (1, 0, 0, 1)
+        """
+        rails = validate_bits(rails)
+        if len(rails) != self.pairs:
+            raise ValueError(f"expected {self.pairs} rails, got {len(rails)}")
+        word: list = []
+        for bit in rails:
+            word.extend((bit, bit ^ 1))
+        return tuple(word)
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        word = validate_bits(word)
+        if len(word) != self.length:
+            return False
+        return all(word[2 * i] != word[2 * i + 1] for i in range(self.pairs))
+
+    def words(self) -> Iterator[BitVector]:
+        for rails in all_bit_vectors(self.pairs):
+            yield self.encode(rails)
+
+    def cardinality(self) -> int:
+        return 1 << self.pairs

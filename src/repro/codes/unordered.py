@@ -1,0 +1,101 @@
+"""Unordered-code predicates — the combinatorial heart of the scheme.
+
+A code is *unordered* when no code word covers another: there is no pair
+(u, v), u != v, with u having 1s in every position where v has 1s.  The
+paper's §III rationale reduces decoder-fault detection to two facts about
+unordered codes, both provided here as checkable predicates:
+
+* the all-ones vector is never a code word of an unordered code with more
+  than one word (stuck-at-0 faults deselect every line, the NOR matrix
+  emits all 1s, detection is immediate);
+* the bitwise AND of two distinct code words is covered by both, hence is
+  a non-code word (stuck-at-1 faults select two lines, the NOR matrix
+  emits the AND of their code words).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.codes.base import BitVector, validate_bits
+
+__all__ = [
+    "covers",
+    "bitwise_and",
+    "is_unordered_code",
+    "violating_pairs",
+    "and_of_distinct_words_is_noncode",
+]
+
+
+def covers(u: Sequence[int], v: Sequence[int]) -> bool:
+    """True iff ``u`` covers ``v`` (u has a 1 wherever v does).
+
+    >>> covers((1, 1, 0), (1, 0, 0))
+    True
+    >>> covers((1, 0, 0), (0, 1, 0))
+    False
+    """
+    u, v = validate_bits(u), validate_bits(v)
+    if len(u) != len(v):
+        raise ValueError(f"length mismatch: {len(u)} vs {len(v)}")
+    return all(ub >= vb for ub, vb in zip(u, v))
+
+
+def bitwise_and(u: Sequence[int], v: Sequence[int]) -> BitVector:
+    """Bitwise AND of two bit vectors — what a NOR matrix emits when a
+    stuck-at-1 decoder fault selects two word lines at once."""
+    u, v = validate_bits(u), validate_bits(v)
+    if len(u) != len(v):
+        raise ValueError(f"length mismatch: {len(u)} vs {len(v)}")
+    return tuple(ub & vb for ub, vb in zip(u, v))
+
+
+def violating_pairs(
+    words: Iterable[Sequence[int]],
+) -> List[Tuple[BitVector, BitVector]]:
+    """All ordered pairs (u, v), u != v, where u covers v.
+
+    Empty iff the code is unordered.  Exhaustive O(|C|^2 * n) — intended
+    for the code sizes of this paper (up to a few thousand words).
+    """
+    ws = [validate_bits(w) for w in words]
+    out: List[Tuple[BitVector, BitVector]] = []
+    for i, u in enumerate(ws):
+        for j, v in enumerate(ws):
+            if i != j and covers(u, v):
+                out.append((u, v))
+    return out
+
+
+def is_unordered_code(words: Iterable[Sequence[int]]) -> bool:
+    """True iff no code word covers another.
+
+    >>> is_unordered_code([(1, 1, 0), (0, 1, 1), (1, 0, 1)])
+    True
+    >>> is_unordered_code([(1, 1, 0), (1, 0, 0)])
+    False
+    """
+    ws = [validate_bits(w) for w in words]
+    for i, u in enumerate(ws):
+        for j, v in enumerate(ws):
+            if i != j and covers(u, v):
+                return False
+    return True
+
+
+def and_of_distinct_words_is_noncode(words: Iterable[Sequence[int]]) -> bool:
+    """Verify the stuck-at-1 detection property exhaustively.
+
+    For every pair of *distinct* code words u != v, ``u AND v`` must not be
+    a code word.  True for every unordered code (Lemma of §III); this
+    function proves it by enumeration for a concrete code, and is the
+    property the ablation X5 shows failing for ordered codes.
+    """
+    ws = [validate_bits(w) for w in words]
+    member = set(ws)
+    for i, u in enumerate(ws):
+        for v in ws[i + 1 :]:
+            if u != v and bitwise_and(u, v) in member:
+                return False
+    return True

@@ -1,0 +1,110 @@
+"""Per-decoder code plans — the paper's q1/r1 vs q2/r2 flexibility.
+
+Figure 3 labels the two ROMs with *different* codes (q1-out-of-r1 for the
+column decoder, q2-out-of-r2 for the row decoder), and the §IV overhead
+formula keeps r1 and r2 separate.  The tables then use one code for both;
+this module implements the general case and the optimisation it enables:
+
+* the **column decoder** has only ``2^s`` outputs (8 for the paper's
+  mux-8 RAMs).  A zero-latency identity mapping for it needs just
+  ``C(r, q) >= 2^s`` — r = 5 for s = 3 — and its ROM is `r·2^s` cells,
+  i.e. noise next to the row ROM's ``r·2^p``.  So the plan defaults to a
+  **zero-latency column decoder** and spends the latency budget only
+  where area is actually at stake, the row decoder.
+* asymmetric requirements (different c per decoder) are also supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.area.stdcell import StdCellAreaModel
+from repro.core.mapping import (
+    AddressMapping,
+    IdentityMapping,
+    mapping_for_code,
+)
+from repro.core.selection import (
+    CodeSelection,
+    SelectionPolicy,
+    select_code,
+    select_zero_latency_code,
+)
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["MemoryCodePlan", "plan_memory_codes"]
+
+
+@dataclass
+class MemoryCodePlan:
+    """Code assignments for the two decoders of one memory."""
+
+    organization: MemoryOrganization
+    row: CodeSelection
+    column: CodeSelection
+
+    @property
+    def r_row(self) -> int:
+        return self.row.rom_width
+
+    @property
+    def r_column(self) -> int:
+        return self.column.rom_width
+
+    def row_mapping(self) -> AddressMapping:
+        return self._mapping(self.row, self.organization.p)
+
+    def column_mapping(self) -> AddressMapping:
+        return self._mapping(self.column, self.organization.s)
+
+    @staticmethod
+    def _mapping(selection: CodeSelection, n_bits: int) -> AddressMapping:
+        if selection.mapping_kind == "identity":
+            return IdentityMapping(selection.code, n_bits)
+        return mapping_for_code(selection.code, n_bits)
+
+    def overhead_percent(
+        self, model: Optional[StdCellAreaModel] = None
+    ) -> float:
+        model = model or StdCellAreaModel()
+        return model.overhead_percent(
+            self.organization, r_row=self.r_row, r_column=self.r_column
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.organization.label()}: row {self.row.code_name} "
+            f"(a={self.row.a_final}), column {self.column.code_name} "
+            f"(a={self.column.a_final}), overhead "
+            f"{self.overhead_percent():.2f} %"
+        )
+
+
+def plan_memory_codes(
+    organization: MemoryOrganization,
+    c: int,
+    pndc: float,
+    policy: SelectionPolicy = SelectionPolicy.EXACT,
+    column_zero_latency: bool = True,
+) -> MemoryCodePlan:
+    """Size the two decoders independently.
+
+    The row decoder is sized from (c, Pndc) as in §III.2.  The column
+    decoder either gets the same treatment (``column_zero_latency=False``,
+    the tables' convention) or — the default — a zero-latency identity
+    mapping, whose extra cost is bounded by
+    ``(r_id - r_row)·2^s`` ROM cells, typically well under 0.1 % of the
+    RAM.
+
+    >>> from repro.memory.organization import paper_org
+    >>> plan = plan_memory_codes(paper_org('16x2K'), c=10, pndc=1e-9)
+    >>> plan.row.code_name, plan.column.mapping_kind
+    ('3-out-of-5', 'identity')
+    """
+    row = select_code(c, pndc, policy=policy)
+    if column_zero_latency:
+        column = select_zero_latency_code(organization.s)
+    else:
+        column = row
+    return MemoryCodePlan(organization=organization, row=row, column=column)

@@ -1,0 +1,106 @@
+"""§II safety arithmetic: why unchecked decoders dominate system risk.
+
+The paper's introduction argues with a back-of-envelope model: if the
+decoders are fraction ``d`` of the memory area and the whole memory fails
+at rate ``lambda`` (faults/hour), then a scheme covering everything but
+the decoders leaves an undetected-fault rate of about ``d * lambda``,
+while a scheme whose residual escape is ``epsilon`` of real faults leaves
+``epsilon * lambda``.  The worked numbers: ``lambda = 1e-5``, a scheme
+missing ``1e-4`` of faults gives 1e-9 undetectable faults/hour, whereas
+checking only the word array gives roughly
+``0.1·1e-5 + 0.9·1e-5·1e-4 ≈ 1e-6`` — three orders worse.
+
+This module wraps that arithmetic so the safety bench (E3) regenerates
+the numbers, and extends it with the scheme's own escape model: given a
+code selection, the residual rate combines the decoders' probabilistic
+escapes with the parity-covered data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SafetyModel", "undetectable_rate_unchecked_decoders",
+           "undetectable_rate_with_coverage"]
+
+
+def undetectable_rate_with_coverage(
+    fault_rate_per_hour: float, escape_fraction: float
+) -> float:
+    """Residual rate when the checking scheme misses ``escape_fraction``.
+
+    >>> abs(undetectable_rate_with_coverage(1e-5, 1e-4) - 1e-9) < 1e-24
+    True
+    """
+    if fault_rate_per_hour < 0:
+        raise ValueError("fault rate must be non-negative")
+    if not 0 <= escape_fraction <= 1:
+        raise ValueError("escape fraction must be in [0, 1]")
+    return fault_rate_per_hour * escape_fraction
+
+
+def undetectable_rate_unchecked_decoders(
+    fault_rate_per_hour: float,
+    decoder_area_fraction: float,
+    array_escape_fraction: float,
+) -> float:
+    """Residual rate when only the word array is checked (§II example).
+
+    Decoder faults (fraction = area share) are entirely uncovered; array
+    faults escape at the array scheme's own residual rate.
+
+    >>> rate = undetectable_rate_unchecked_decoders(1e-5, 0.1, 1e-4)
+    >>> 9.0e-7 < rate < 1.1e-6
+    True
+    """
+    if not 0 <= decoder_area_fraction <= 1:
+        raise ValueError("decoder area fraction must be in [0, 1]")
+    decoder_part = decoder_area_fraction * fault_rate_per_hour
+    array_part = (
+        (1 - decoder_area_fraction)
+        * fault_rate_per_hour
+        * array_escape_fraction
+    )
+    return decoder_part + array_part
+
+
+@dataclass
+class SafetyModel:
+    """System-level safety for a memory protected by the paper's scheme."""
+
+    #: total memory fault rate (faults/hour)
+    fault_rate_per_hour: float
+    #: decoders' share of the fault population (≈ area share)
+    decoder_area_fraction: float = 0.1
+    #: residual escape of the parity-covered array path
+    array_escape_fraction: float = 0.0
+
+    def rate_unprotected_decoders(self) -> float:
+        """Baseline: parity on the array, nothing on the decoders."""
+        return undetectable_rate_unchecked_decoders(
+            self.fault_rate_per_hour,
+            self.decoder_area_fraction,
+            self.array_escape_fraction,
+        )
+
+    def rate_with_scheme(self, decoder_escape_fraction: float) -> float:
+        """With the ROM scheme: decoder faults escape at the scheme's
+        long-run escape (≈ Pndc integrated over the exposure window)."""
+        decoder_part = (
+            self.decoder_area_fraction
+            * self.fault_rate_per_hour
+            * decoder_escape_fraction
+        )
+        array_part = (
+            (1 - self.decoder_area_fraction)
+            * self.fault_rate_per_hour
+            * self.array_escape_fraction
+        )
+        return decoder_part + array_part
+
+    def improvement_factor(self, decoder_escape_fraction: float) -> float:
+        """How much the scheme shrinks the undetectable-fault rate."""
+        with_scheme = self.rate_with_scheme(decoder_escape_fraction)
+        if with_scheme == 0:
+            return float("inf")
+        return self.rate_unprotected_decoders() / with_scheme

@@ -1,0 +1,264 @@
+"""Code selection from (detection latency, escape probability) — §III.2.
+
+Given the tolerated detection latency ``c`` (clock cycles) and escape
+probability ``Pndc``, pick the cheapest unordered code whose mod-a mapping
+meets them.  Two sizing policies are provided because the paper itself
+uses both (see DESIGN.md §2):
+
+* :attr:`SelectionPolicy.EXACT` — search the smallest odd ``a`` whose
+  *exact* worst-case per-cycle escape ``max_i ceil(2^i/a)/2^i`` satisfies
+  ``escape^c <= Pndc``.  This guarantees the spec for every decoder block
+  width.  Reproduces Table 1 rows c = 2, 10, 20, 40 and Table 2 rows
+  1e-2, 1e-5, 1e-9, 1e-15, 1e-30.
+* :attr:`SelectionPolicy.APPROXIMATE` — the paper's shortcut
+  ``a = ceil(Pndc^(-1/c))`` (bumped to odd), which treats the per-cycle
+  escape as ``1/a``.  Reproduces all six Table 2 rows, including 1e-20
+  where the exact bound would demand a wider code.
+
+Either way, the q-out-of-r code is the minimal-width maximal constant
+weight code with ``C(r, q) >= a``; the final mapping modulus is ``C`` if
+odd, ``C - 1`` if even, with the completion remap re-emitting the unused
+word (§III.2 last paragraph).  The 1-out-of-2 + parity-mapping special
+case is taken whenever it already meets the spec (per-cycle escape is
+exactly 1/2 for every block).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from repro.codes.m_out_of_n import MOutOfNCode, maximal_code_for_width
+from repro.core.latency import (
+    required_a_for,
+    worst_escape_over_blocks,
+)
+from repro.utils.combinatorics import smallest_r_for_cardinality
+
+__all__ = [
+    "SelectionPolicy",
+    "CodeSelection",
+    "select_code",
+    "select_zero_latency_code",
+    "evaluate_code",
+]
+
+#: Default cap on decoder block width considered by the exact worst case.
+#: 64 covers any realistic address width; the supremum stabilises long
+#: before that (the bound is ~2/2^i once 2^i > a).
+DEFAULT_MAX_BLOCK_WIDTH = 64
+
+
+class SelectionPolicy(enum.Enum):
+    """How the modulus ``a`` is sized from (c, Pndc)."""
+
+    EXACT = "exact"
+    APPROXIMATE = "approximate"
+
+
+@dataclass
+class CodeSelection:
+    """Outcome of the code-selection procedure."""
+
+    c: int
+    pndc_target: float
+    policy: SelectionPolicy
+    #: modulus demanded by the sizing rule, before the code rounds it up
+    a_required: int
+    #: the selected q-out-of-r code
+    code: MOutOfNCode
+    #: final mapping modulus (C if odd else C-1); 2 for the parity mapping
+    a_final: int
+    #: 'parity' for the 1-out-of-2 endpoint, else 'mod'
+    mapping_kind: str
+    #: exact worst-case per-cycle escape achieved with a_final
+    achieved_escape: Fraction = field(default=Fraction(1))
+    #: achieved_escape ** c
+    achieved_pndc: float = 0.0
+    #: True iff achieved_pndc <= pndc_target (can be False under APPROXIMATE)
+    meets_target: bool = True
+
+    @property
+    def rom_width(self) -> int:
+        """ROM bits per decoder output — the ``r`` that drives area."""
+        return self.code.n
+
+    @property
+    def code_name(self) -> str:
+        return self.code.name
+
+    def describe(self) -> str:
+        return (
+            f"c={self.c}, Pndc<={self.pndc_target:g} [{self.policy.value}] "
+            f"-> a_req={self.a_required}, code={self.code_name}, "
+            f"a={self.a_final}, escape/cycle={float(self.achieved_escape):.4g}, "
+            f"Pndc={self.achieved_pndc:.3g} "
+            f"({'meets' if self.meets_target else 'MISSES'} target)"
+        )
+
+
+def _parity_candidate(
+    c: int, pndc_target: float, policy: SelectionPolicy
+) -> bool:
+    """Is the 1-out-of-2 endpoint sufficient?
+
+    Its per-cycle escape is exactly 1/2 for every block (parity of the
+    inputs splits each block's sub-values evenly).  Under the approximate
+    policy the equivalent condition is ``a_req <= 2``.
+    """
+    if policy is SelectionPolicy.APPROXIMATE:
+        return math.ceil(pndc_target ** (-1.0 / c)) <= 2
+    return 0.5 ** c <= pndc_target
+
+
+def _approximate_a(c: int, pndc_target: float) -> int:
+    """The paper's shortcut: ``a = ceil(Pndc^{-1/c})``, bumped to odd."""
+    a = math.ceil(pndc_target ** (-1.0 / c))
+    # Guard against float dust placing us a hair above an exact integer.
+    if a > 1 and (a - 1) ** c * pndc_target >= 1.0:
+        a -= 1
+    if a % 2 == 0:
+        a += 1
+    return max(a, 3)
+
+
+def select_code(
+    c: int,
+    pndc_target: float,
+    policy: SelectionPolicy = SelectionPolicy.EXACT,
+    max_block_width: int = DEFAULT_MAX_BLOCK_WIDTH,
+) -> CodeSelection:
+    """Pick the cheapest unordered code meeting (c, Pndc).
+
+    >>> sel = select_code(10, 1e-9)
+    >>> sel.code_name, sel.a_final
+    ('3-out-of-5', 9)
+    >>> select_code(10, 1e-2).code_name
+    '1-out-of-2'
+    """
+    if c < 1:
+        raise ValueError(f"c must be >= 1 clock cycle, got {c}")
+    if not 0 < pndc_target < 1:
+        raise ValueError(
+            f"Pndc target must be in (0, 1), got {pndc_target}"
+        )
+
+    if _parity_candidate(c, pndc_target, policy):
+        code = MOutOfNCode(1, 2)
+        escape = Fraction(1, 2)
+        achieved = float(escape) ** c
+        return CodeSelection(
+            c=c,
+            pndc_target=pndc_target,
+            policy=policy,
+            a_required=2,
+            code=code,
+            a_final=2,
+            mapping_kind="parity",
+            achieved_escape=escape,
+            achieved_pndc=achieved,
+            meets_target=achieved <= pndc_target,
+        )
+
+    if policy is SelectionPolicy.EXACT:
+        a_req = required_a_for(c, pndc_target, max_block_width)
+    else:
+        a_req = _approximate_a(c, pndc_target)
+
+    r = smallest_r_for_cardinality(a_req)
+    code = maximal_code_for_width(r)
+    cardinality = code.cardinality()
+    a_final = cardinality if cardinality % 2 else cardinality - 1
+    escape = worst_escape_over_blocks(a_final, max_block_width)
+    achieved = float(escape) ** c
+    meets = achieved <= pndc_target
+
+    if policy is SelectionPolicy.EXACT and not meets:
+        # a_final >= a_req and the worst-case escape is non-increasing in
+        # a, so this should not trigger; widen defensively if it ever does.
+        while not meets:  # pragma: no cover - defensive
+            r += 1
+            code = maximal_code_for_width(r)
+            cardinality = code.cardinality()
+            a_final = cardinality if cardinality % 2 else cardinality - 1
+            escape = worst_escape_over_blocks(a_final, max_block_width)
+            achieved = float(escape) ** c
+            meets = achieved <= pndc_target
+
+    return CodeSelection(
+        c=c,
+        pndc_target=pndc_target,
+        policy=policy,
+        a_required=a_req,
+        code=code,
+        a_final=a_final,
+        mapping_kind="mod",
+        achieved_escape=escape,
+        achieved_pndc=achieved,
+        meets_target=meets,
+    )
+
+
+def select_zero_latency_code(n_bits: int) -> CodeSelection:
+    """The [NIC 94] endpoint: one code word per decoder output.
+
+    Detection latency is zero for *every* stuck-at fault; the cost is the
+    widest ROM of the trade-off (e.g. 9-out-of-18 already covers 2^15
+    outputs).
+    """
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    need = 1 << n_bits
+    r = smallest_r_for_cardinality(need)
+    code = maximal_code_for_width(r)
+    return CodeSelection(
+        c=1,
+        pndc_target=0.5,  # nominal; zero latency beats any target
+        policy=SelectionPolicy.EXACT,
+        a_required=need,
+        code=code,
+        a_final=need,
+        mapping_kind="identity",
+        achieved_escape=Fraction(0),
+        achieved_pndc=0.0,
+        meets_target=True,
+    )
+
+
+def evaluate_code(
+    code: MOutOfNCode,
+    c: int,
+    pndc_target: Optional[float] = None,
+    max_block_width: int = DEFAULT_MAX_BLOCK_WIDTH,
+) -> CodeSelection:
+    """Assess a *given* code (e.g. the paper's table rows) against (c, Pndc).
+
+    Used by the table benches to print the paper's own code choices next
+    to ours with their achieved escape probabilities.
+    """
+    if (code.m, code.n) == (1, 2):
+        escape = Fraction(1, 2)
+        a_final = 2
+        kind = "parity"
+    else:
+        cardinality = code.cardinality()
+        a_final = cardinality if cardinality % 2 else cardinality - 1
+        escape = worst_escape_over_blocks(a_final, max_block_width)
+        kind = "mod"
+    achieved = float(escape) ** c
+    target = pndc_target if pndc_target is not None else achieved
+    return CodeSelection(
+        c=c,
+        pndc_target=target,
+        policy=SelectionPolicy.EXACT,
+        a_required=a_final,
+        code=code,
+        a_final=a_final,
+        mapping_kind=kind,
+        achieved_escape=escape,
+        achieved_pndc=achieved,
+        meets_target=achieved <= target,
+    )

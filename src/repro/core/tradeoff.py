@@ -1,0 +1,141 @@
+"""Trade-off exploration: the paper's contribution as a design-space tool.
+
+The tables of §IV are two 1-D slices of the (c, Pndc, area) surface.
+This module generalises them: sweep either knob, list the Pareto frontier
+of (detection latency, area overhead), and answer the designer question
+the paper's abstract poses — "take the required detection latency and
+determine the codes to meet the system requirements" — including the
+inverse query (given an area budget, what latency can you afford?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.area.stdcell import StdCellAreaModel
+from repro.core.latency import cycles_to_reach
+from repro.core.selection import (
+    CodeSelection,
+    SelectionPolicy,
+    select_code,
+)
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["TradeoffPoint", "TradeoffExplorer"]
+
+
+@dataclass
+class TradeoffPoint:
+    """One design point on the latency/area surface."""
+
+    c: int
+    pndc: float
+    selection: CodeSelection
+    overhead_percent: float
+
+    @property
+    def code_name(self) -> str:
+        return self.selection.code_name
+
+    def as_row(self) -> tuple:
+        return (
+            self.c,
+            self.pndc,
+            self.code_name,
+            self.selection.a_final,
+            round(self.overhead_percent, 2),
+        )
+
+
+class TradeoffExplorer:
+    """Sweep and query the area-vs-latency trade-off for one memory."""
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        area_model: Optional[StdCellAreaModel] = None,
+        policy: SelectionPolicy = SelectionPolicy.EXACT,
+    ):
+        self.organization = organization
+        self.area_model = area_model or StdCellAreaModel()
+        self.policy = policy
+
+    def point(self, c: int, pndc: float) -> TradeoffPoint:
+        selection = select_code(c, pndc, policy=self.policy)
+        overhead = self.area_model.overhead_percent(
+            self.organization, r_row=selection.rom_width
+        )
+        return TradeoffPoint(
+            c=c, pndc=pndc, selection=selection, overhead_percent=overhead
+        )
+
+    def sweep_latency(
+        self, cs: Sequence[int], pndc: float
+    ) -> List[TradeoffPoint]:
+        """Table-1-style sweep: fixed escape target, varying latency."""
+        return [self.point(c, pndc) for c in cs]
+
+    def sweep_escape(
+        self, c: int, pndcs: Sequence[float]
+    ) -> List[TradeoffPoint]:
+        """Table-2-style sweep: fixed latency, varying escape target."""
+        return [self.point(c, pndc) for pndc in pndcs]
+
+    def pareto_frontier(
+        self, cs: Sequence[int], pndc: float
+    ) -> List[TradeoffPoint]:
+        """Non-dominated (latency, area) points from a latency sweep."""
+        points = self.sweep_latency(cs, pndc)
+        frontier: List[TradeoffPoint] = []
+        best_area = float("inf")
+        for pt in sorted(points, key=lambda p: p.c):
+            if pt.overhead_percent < best_area - 1e-12:
+                frontier.append(pt)
+                best_area = pt.overhead_percent
+        return frontier
+
+    def max_latency_for_budget(
+        self,
+        area_budget_percent: float,
+        pndc: float,
+        c_limit: int = 10_000,
+    ) -> Optional[TradeoffPoint]:
+        """Inverse query: cheapest latency achievable within an area budget.
+
+        Scans candidate code widths from cheapest up; for each affordable
+        code, computes the smallest ``c`` at which the code meets ``pndc``
+        and returns the affordable point with the smallest such ``c``.
+        Returns None when even the 1-out-of-2 endpoint exceeds the budget.
+        """
+        best: Optional[TradeoffPoint] = None
+        for r in range(2, 40):
+            overhead = self.area_model.overhead_percent(
+                self.organization, r_row=r
+            )
+            if overhead > area_budget_percent:
+                continue
+            from repro.codes.m_out_of_n import maximal_code_for_width
+
+            code = maximal_code_for_width(r)
+            cardinality = code.cardinality()
+            if (code.m, code.n) == (1, 2):
+                a_final = 2
+            else:
+                a_final = (
+                    cardinality if cardinality % 2 else cardinality - 1
+                )
+            try:
+                c_needed = cycles_to_reach(a_final, pndc)
+            except ValueError:
+                continue
+            if c_needed > c_limit:
+                continue
+            candidate = self.point(c_needed, pndc)
+            if best is None or candidate.c < best.c or (
+                candidate.c == best.c
+                and candidate.overhead_percent < best.overhead_percent
+            ):
+                if candidate.overhead_percent <= area_budget_percent:
+                    best = candidate
+        return best

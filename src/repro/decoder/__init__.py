@@ -1,0 +1,25 @@
+"""Gate-level decoder trees (§III.2) and their analytic fault analysis."""
+
+from repro.decoder.analysis import (
+    DecoderAnalysis,
+    FaultSite,
+    analyze_decoder,
+    classify_fault_sites,
+    sa1_escape_closed_form,
+    sa1_escape_exhaustive,
+)
+from repro.decoder.flat import FlatDecoder
+from repro.decoder.tree import DecoderTree, DecodingBlock, build_decoder
+
+__all__ = [
+    "FlatDecoder",
+    "DecoderTree",
+    "DecodingBlock",
+    "build_decoder",
+    "DecoderAnalysis",
+    "FaultSite",
+    "analyze_decoder",
+    "classify_fault_sites",
+    "sa1_escape_closed_form",
+    "sa1_escape_exhaustive",
+]

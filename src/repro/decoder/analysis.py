@@ -1,0 +1,283 @@
+"""Per-fault analytic detection analysis of the decoder tree (§III.2).
+
+Every gate output inside a :class:`~repro.decoder.tree.DecoderTree` is an
+output of exactly one decoding block, so each stuck-at fault is a
+*fault site* ``(block offset j, block width i, decoded sub-value m1,
+polarity)``.  The paper's case analysis, implemented here:
+
+* **stuck-at 0** on a block output: when excited (sub-value ``m1``
+  addressed), the whole decoder goes all-0, the NOR matrix emits all-1s —
+  a non-code word of any unordered code with >= 2 words.  Zero detection
+  latency (first error detected); the only "escape" is non-excitation.
+* **stuck-at 1** on a block output: when a different sub-value ``m2`` is
+  addressed, exactly two word lines activate, carrying the code words of
+  addresses that differ by ``2^j (m1 - m2)``.  Escape per cycle is the
+  probability that the mapping assigns both the same word.
+* **address-input stem faults**: the decoder *correctly* decodes a wrong
+  address; a single valid line activates and the ROM emits a legal code
+  word.  Out of scope for the scheme (the paper checks decoder faults;
+  address buses need their own protection) — classified, not counted as
+  covered.
+
+For the standard mappings the escape probability is context-independent
+and computed in closed form; for arbitrary mappings (completion remaps,
+ablation mappings) an exhaustive context enumeration is available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.faults import FaultBase, NetStuckAt
+from repro.core.latency import collision_count
+from repro.core.mapping import (
+    AddressMapping,
+    IdentityMapping,
+    ModAMapping,
+    ParityMapping,
+    TruncatedBergerMapping,
+)
+from repro.decoder.tree import DecoderTree
+from repro.utils.bitops import parity_of
+
+__all__ = [
+    "FaultSite",
+    "classify_fault_sites",
+    "sa1_escape_closed_form",
+    "sa1_escape_exhaustive",
+    "analyze_decoder",
+    "DecoderAnalysis",
+]
+
+
+@dataclass
+class FaultSite:
+    """One stuck-at fault location inside the decoder tree."""
+
+    fault: FaultBase
+    #: 'sa0' | 'sa1' | 'address'
+    kind: str
+    #: block's low bit offset (the paper's j); None for address faults
+    block_lo: Optional[int]
+    #: block width in address bits (the paper's i); None for address faults
+    block_width: Optional[int]
+    #: sub-value decoded by the faulted line (the paper's m1)
+    sub_value: Optional[int]
+    #: per-cycle probability the fault stays undetected (uniform addresses)
+    escape_per_cycle: Optional[Fraction] = None
+    #: True when the first *error* is guaranteed detected
+    zero_latency: bool = False
+
+    def pndc(self, c: int) -> float:
+        """Probability of surviving ``c`` cycles undetected."""
+        if self.escape_per_cycle is None:
+            return 1.0
+        return float(self.escape_per_cycle) ** c
+
+
+def _effective_modulus_gcd(mapping: AddressMapping, lo: int) -> int:
+    """gcd(2^lo, a) for the mod mapping — 1 whenever ``a`` is odd."""
+    if isinstance(mapping, ModAMapping):
+        return math.gcd(1 << lo, mapping.a)
+    return 1
+
+
+def sa1_escape_closed_form(
+    mapping: AddressMapping, lo: int, width: int, m1: int
+) -> Optional[Fraction]:
+    """Context-independent per-cycle escape for a stuck-at-1, if available.
+
+    Returns None when the mapping has no closed form (fall back to
+    :func:`sa1_escape_exhaustive`).
+
+    The completion remap of :class:`ModAMapping` perturbs at most
+    ``C - a`` addresses out of ``2^n``; the closed form ignores it (the
+    remap only ever *splits* former collisions, so the closed form is a
+    safe upper bound — tests pin the exact gap).
+    """
+    total = 1 << width
+    if isinstance(mapping, ParityMapping):
+        # x collides with m1 iff parity(x) == parity(m1): exactly half.
+        if width == 0:
+            return Fraction(1)
+        return Fraction(1, 2)
+    if isinstance(mapping, IdentityMapping):
+        # Only x = m1 maps to the same word.
+        return Fraction(1, total)
+    if isinstance(mapping, TruncatedBergerMapping):
+        # Collides iff low info bits equal: the high-k sub-decoder is blind.
+        info = mapping.info_bits
+        if lo >= info:
+            return Fraction(1)  # block entirely in the unchecked high bits
+        overlap_hi = min(lo + width, info)
+        checked = overlap_hi - lo
+        return Fraction(1 << (width - checked), total)
+    if isinstance(mapping, ModAMapping):
+        gcd = _effective_modulus_gcd(mapping, lo)
+        return Fraction(
+            collision_count(width, mapping.a, m1, modulus_gcd=gcd), total
+        )
+    return None
+
+
+def sa1_escape_exhaustive(
+    mapping: AddressMapping, lo: int, width: int, m1: int
+) -> Fraction:
+    """Exact escape by enumerating every address (small decoders only).
+
+    Escape event for a uniformly drawn address ``A``: the mapping gives
+    the faulted line's address ``A1`` (bits [lo, lo+width) forced to m1)
+    the same index as ``A`` itself.  Includes non-excitation (``A = A1``).
+    """
+    n = mapping.n_bits
+    if n > 22:
+        raise ValueError(
+            f"exhaustive escape enumeration over 2^{n} addresses refused; "
+            f"use the closed form or sample"
+        )
+    mask = ((1 << width) - 1) << lo
+    forced = m1 << lo
+    collide = 0
+    for address in range(1 << n):
+        faulty = (address & ~mask) | forced
+        if mapping.index(faulty) == mapping.index(address):
+            collide += 1
+    return Fraction(collide, 1 << n)
+
+
+def classify_fault_sites(
+    tree: DecoderTree,
+    include_inputs: bool = True,
+) -> List[FaultSite]:
+    """Enumerate and classify every net stuck-at fault of a decoder tree."""
+    sites: List[FaultSite] = []
+    if include_inputs:
+        for net in tree.circuit.input_nets:
+            for value in (0, 1):
+                sites.append(
+                    FaultSite(
+                        fault=NetStuckAt(net, value),
+                        kind="address",
+                        block_lo=None,
+                        block_width=None,
+                        sub_value=None,
+                        escape_per_cycle=None,
+                        zero_latency=False,
+                    )
+                )
+    for gate in tree.circuit.gates:
+        site = tree.site_of_net(gate.output)
+        if site is None:  # pragma: no cover - every gate is a block output
+            continue
+        block, sub_value = site
+        for value in (0, 1):
+            sites.append(
+                FaultSite(
+                    fault=NetStuckAt(gate.output, value),
+                    kind="sa0" if value == 0 else "sa1",
+                    block_lo=block.lo,
+                    block_width=block.width,
+                    sub_value=sub_value,
+                )
+            )
+    return sites
+
+
+@dataclass
+class DecoderAnalysis:
+    """Aggregate analytic results for a (decoder, mapping) pair."""
+
+    tree: DecoderTree
+    mapping: AddressMapping
+    sites: List[FaultSite]
+
+    @property
+    def sa1_sites(self) -> List[FaultSite]:
+        return [s for s in self.sites if s.kind == "sa1"]
+
+    @property
+    def sa0_sites(self) -> List[FaultSite]:
+        return [s for s in self.sites if s.kind == "sa0"]
+
+    @property
+    def address_sites(self) -> List[FaultSite]:
+        return [s for s in self.sites if s.kind == "address"]
+
+    def worst_escape(self) -> Fraction:
+        """Largest per-cycle escape among stuck-at-1 sites."""
+        escapes = [
+            s.escape_per_cycle
+            for s in self.sa1_sites
+            if s.escape_per_cycle is not None
+        ]
+        return max(escapes) if escapes else Fraction(0)
+
+    def worst_pndc(self, c: int) -> float:
+        return float(self.worst_escape()) ** c
+
+    def mean_escape(self) -> float:
+        sa1 = self.sa1_sites
+        if not sa1:
+            return 0.0
+        return sum(float(s.escape_per_cycle) for s in sa1) / len(sa1)
+
+    def zero_latency_fraction(self) -> float:
+        """Fraction of in-model faults (sa0+sa1) with guaranteed zero latency."""
+        in_model = [s for s in self.sites if s.kind in ("sa0", "sa1")]
+        zero = sum(1 for s in in_model if s.zero_latency)
+        return zero / len(in_model) if in_model else 1.0
+
+    def escape_histogram(self) -> Dict[Fraction, int]:
+        """Escape value -> number of stuck-at-1 sites with that value."""
+        hist: Dict[Fraction, int] = {}
+        for site in self.sa1_sites:
+            hist[site.escape_per_cycle] = hist.get(site.escape_per_cycle, 0) + 1
+        return hist
+
+
+def analyze_decoder(
+    tree: DecoderTree,
+    mapping: AddressMapping,
+    exhaustive: bool = False,
+    include_inputs: bool = True,
+) -> DecoderAnalysis:
+    """Classify every fault and attach its analytic escape probability.
+
+    With ``exhaustive=True`` the per-site escape is computed by full
+    address enumeration (exact even under completion remaps); otherwise
+    the closed form is used.
+    """
+    sites = classify_fault_sites(tree, include_inputs=include_inputs)
+    for site in sites:
+        if site.kind == "address":
+            continue
+        if site.kind == "sa0":
+            # First error forces all word lines low: all-1s out of the NOR
+            # matrix, detected immediately.  Escape = non-excitation only.
+            site.zero_latency = True
+            site.escape_per_cycle = Fraction(
+                (1 << site.block_width) - 1, 1 << site.block_width
+            )
+            continue
+        # stuck-at 1
+        if exhaustive:
+            escape = sa1_escape_exhaustive(
+                mapping, site.block_lo, site.block_width, site.sub_value
+            )
+        else:
+            escape = sa1_escape_closed_form(
+                mapping, site.block_lo, site.block_width, site.sub_value
+            )
+            if escape is None:
+                escape = sa1_escape_exhaustive(
+                    mapping, site.block_lo, site.block_width, site.sub_value
+                )
+        site.escape_per_cycle = escape
+        # Zero latency when every erroneous merge is detected: the only
+        # colliding sub-value is m1 itself (count == 1).
+        collide_states = escape * (1 << site.block_width)
+        site.zero_latency = collide_states == 1
+    return DecoderAnalysis(tree=tree, mapping=mapping, sites=sites)

@@ -1,0 +1,114 @@
+"""Single-level ("flat") decoder — one n-input AND gate per word line.
+
+§III contrasts two decoder implementations for the parity scheme of
+[CHE 85] / [NIC 84b]:
+
+* a *single-level* decoder (one n-input AND or NOR per output, plus the
+  input inverters): every internal fault merges word lines whose
+  addresses differ in **one** bit, so the (even, odd)-parity ROM detects
+  every merge on the first erroneous cycle — "covers the majority of
+  faults";
+* a *multilevel* decoder (the §III.2 tree): internal faults merge lines
+  differing in a whole sub-field, which the parity pair sees only with
+  probability 1/2 per cycle — "low fault coverage and large detection
+  latency".
+
+This class provides the single-level implementation with the same
+interface surface as :class:`~repro.decoder.tree.DecoderTree`
+(``circuit``, ``decode``, ``selected_lines``, ``site_of_net``,
+``root``/``blocks``), so :class:`~repro.rom.nor_matrix.CheckedDecoder`
+and the campaign machinery run unmodified on either style.  Experiment
+X10 (:mod:`repro.experiments.decoder_style`) reproduces the claim.
+
+Fan-in note: real libraries cap AND fan-in; the paper's point is about
+logic *depth* (one level of decoding), which the model captures
+regardless of how the wide AND would be legalised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+from repro.decoder.tree import DecodingBlock
+
+__all__ = ["FlatDecoder"]
+
+
+class FlatDecoder:
+    """n-to-2^n decoder: input inverters + one wide AND per word line."""
+
+    def __init__(self, n: int, name: str = "flat_decoder"):
+        if n < 1:
+            raise ValueError(f"decoder needs at least 1 address bit, got {n}")
+        self.n = n
+        self.circuit = Circuit(name)
+        self.input_nets = self.circuit.add_inputs(
+            [f"a{i}" for i in range(n)]
+        )
+        self.blocks = []
+        self.net_site: Dict[int, Tuple[DecodingBlock, int]] = {}
+
+        # 0-level literal blocks (shared with the tree construction).
+        literal_blocks = []
+        for bit, direct in enumerate(self.input_nets):
+            comp = self.circuit.add_gate(
+                GateType.NOT, (direct,), name=f"a{bit}_n"
+            )
+            block = DecodingBlock(bit, bit + 1, 0, (comp, direct))
+            literal_blocks.append(block)
+            self._register(block)
+
+        # Single level of wide AND gates: one per address value.
+        outputs = []
+        for value in range(1 << n):
+            literals = []
+            for bit in range(n):
+                chosen = (value >> bit) & 1
+                literals.append(literal_blocks[bit].output_nets[chosen])
+            if n == 1:
+                net = self.circuit.add_gate(
+                    GateType.BUF, (literals[0],), name=f"w{value}_buf"
+                )
+            else:
+                net = self.circuit.add_gate(
+                    GateType.AND, literals, name=f"w{value}_and"
+                )
+            outputs.append(net)
+        self.root = DecodingBlock(0, n, 1, outputs)
+        self._register(self.root)
+        for value, net in enumerate(outputs):
+            self.circuit.mark_output(net, name=f"w{value}")
+
+    def _register(self, block: DecodingBlock) -> None:
+        self.blocks.append(block)
+        for value, net in enumerate(block.output_nets):
+            self.net_site[net] = (block, value)
+
+    @property
+    def num_outputs(self) -> int:
+        return 1 << self.n
+
+    def decode(self, address: int, faults=()) -> Tuple[int, ...]:
+        if not 0 <= address < (1 << self.n):
+            raise ValueError(
+                f"address {address} out of range [0, {1 << self.n})"
+            )
+        bits = [(address >> i) & 1 for i in range(self.n)]
+        return self.circuit.evaluate(bits, faults=faults)
+
+    def selected_lines(self, address: int, faults=()) -> Tuple[int, ...]:
+        outs = self.decode(address, faults=faults)
+        return tuple(i for i, bit in enumerate(outs) if bit)
+
+    def site_of_net(
+        self, net: int
+    ) -> Optional[Tuple[DecodingBlock, int]]:
+        return self.net_site.get(net)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatDecoder(n={self.n}, outputs={self.num_outputs}, "
+            f"gates={self.circuit.num_gates})"
+        )

@@ -1,0 +1,241 @@
+"""The paper's structured multilevel decoder (§III.2).
+
+The decoder for ``n`` address bits is described as a tree of *decoding
+blocks*:
+
+* 0-level: one block per address input, made of one inverter, providing
+  the complemented and direct literals — a block decoding 1 input with
+  2 outputs;
+* k-level: blocks of the previous level(s) are associated into pairs of
+  blocks decoding *adjacent* input ranges; each pair gets a new block of
+  2-input AND gates, one gate per combination of the pair's outputs, that
+  decodes the union of the two ranges;
+* last level: a single block whose ``2^n`` outputs are the decoder word
+  lines, output ``v`` active iff the address equals ``v``.
+
+When ``n`` is not a power of two some pairs straddle levels (the paper
+notes the analysis is valid regardless); we simply carry an unpaired block
+forward to the next level.
+
+Two structural properties the paper's latency computation rests on are
+exposed as methods so tests can verify them on the gate-level netlist:
+
+* property (a): in the fault-free decoder every block has exactly one
+  active output;
+* property (b): if a fault forces a block's outputs to all-0, the decoder
+  outputs are all-0.
+
+Address/bit convention: bit 0 is the least-significant address bit.  A
+block decodes the contiguous bit range ``[lo, hi)``; its output ``v`` is
+active iff ``bits lo..hi-1`` of the address equal ``v``.  With this
+convention the two word lines selected by a stuck-at-1 in a block at
+offset ``lo`` decode addresses differing by ``2^lo * (m1 - m2)``, exactly
+the ``2^j . X`` arithmetic of §III.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+__all__ = ["DecodingBlock", "DecoderTree", "build_decoder"]
+
+
+class DecodingBlock:
+    """One decoding block: decodes address bits ``[lo, hi)``.
+
+    ``output_nets[v]`` is the net that is high iff the address bits in the
+    block's range equal ``v``.
+    """
+
+    __slots__ = ("lo", "hi", "level", "output_nets", "left", "right")
+
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        level: int,
+        output_nets: Sequence[int],
+        left: Optional["DecodingBlock"] = None,
+        right: Optional["DecodingBlock"] = None,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.level = level
+        self.output_nets = tuple(output_nets)
+        self.left = left
+        self.right = right
+
+    @property
+    def width(self) -> int:
+        """Number of address bits decoded (the paper's ``i``)."""
+        return self.hi - self.lo
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_nets)
+
+    def value_of_output(self, net: int) -> int:
+        """The sub-value ``v`` decoded by a given output net of this block."""
+        return self.output_nets.index(net)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodingBlock(bits[{self.lo}:{self.hi}), level={self.level}, "
+            f"outputs={self.num_outputs})"
+        )
+
+
+class DecoderTree:
+    """A gate-level n-to-2^n decoder built from paired decoding blocks."""
+
+    def __init__(self, n: int, name: str = "decoder"):
+        if n < 1:
+            raise ValueError(f"decoder needs at least 1 address bit, got {n}")
+        self.n = n
+        self.circuit = Circuit(name)
+        self.input_nets = self.circuit.add_inputs(
+            [f"a{i}" for i in range(n)]
+        )
+        self.blocks: List[DecodingBlock] = []
+        #: net id -> (block, decoded sub-value); covers every block output
+        self.net_site: Dict[int, Tuple[DecodingBlock, int]] = {}
+        self.root = self._build()
+        for value, net in enumerate(self.root.output_nets):
+            self.circuit.mark_output(net, name=f"w{value}")
+
+    # -- construction ----------------------------------------------------------
+
+    def _register(self, block: DecodingBlock) -> DecodingBlock:
+        self.blocks.append(block)
+        for value, net in enumerate(block.output_nets):
+            self.net_site[net] = (block, value)
+        return block
+
+    def _level0_block(self, bit: int) -> DecodingBlock:
+        direct = self.input_nets[bit]
+        comp = self.circuit.add_gate(
+            GateType.NOT, (direct,), name=f"a{bit}_n"
+        )
+        # output 0 active iff bit == 0 (the complement), output 1 iff bit == 1
+        return self._register(
+            DecodingBlock(bit, bit + 1, 0, (comp, direct))
+        )
+
+    def _combine(
+        self, low_block: DecodingBlock, high_block: DecodingBlock, level: int
+    ) -> DecodingBlock:
+        """AND every output of the low-range block with every output of the
+        high-range block — the paper's k-level block of 2^(2i) 2-input gates."""
+        if low_block.hi != high_block.lo:
+            raise ValueError(
+                f"blocks must decode adjacent ranges, got "
+                f"[{low_block.lo},{low_block.hi}) and "
+                f"[{high_block.lo},{high_block.hi})"
+            )
+        low_width = low_block.width
+        outputs: List[int] = []
+        for value in range(1 << (low_width + high_block.width)):
+            low_value = value & ((1 << low_width) - 1)
+            high_value = value >> low_width
+            net = self.circuit.add_gate(
+                GateType.AND,
+                (
+                    low_block.output_nets[low_value],
+                    high_block.output_nets[high_value],
+                ),
+                name=f"blk{low_block.lo}_{high_block.hi}_v{value}",
+            )
+            outputs.append(net)
+        return self._register(
+            DecodingBlock(
+                low_block.lo, high_block.hi, level, outputs,
+                left=low_block, right=high_block,
+            )
+        )
+
+    def _build(self) -> DecodingBlock:
+        layer = [self._level0_block(bit) for bit in range(self.n)]
+        level = 1
+        while len(layer) > 1:
+            nxt: List[DecodingBlock] = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self._combine(layer[i], layer[i + 1], level))
+            if len(layer) % 2:
+                nxt.append(layer[-1])  # carried to a later level (n not 2^k)
+            layer = nxt
+            level += 1
+        return layer[0]
+
+    # -- behaviour ---------------------------------------------------------------
+
+    @property
+    def num_outputs(self) -> int:
+        return 1 << self.n
+
+    def decode(self, address: int, faults=()) -> Tuple[int, ...]:
+        """Word-line vector for an address (LSB-first input assignment)."""
+        if not 0 <= address < (1 << self.n):
+            raise ValueError(
+                f"address {address} out of range [0, {1 << self.n})"
+            )
+        bits = [(address >> i) & 1 for i in range(self.n)]
+        return self.circuit.evaluate(bits, faults=faults)
+
+    def selected_lines(self, address: int, faults=()) -> Tuple[int, ...]:
+        """Indices of active word lines (fault-free: exactly one)."""
+        outs = self.decode(address, faults=faults)
+        return tuple(i for i, bit in enumerate(outs) if bit)
+
+    # -- structural properties (a) and (b) of §III.2 ------------------------------
+
+    def check_property_a(self, address: int) -> bool:
+        """Fault-free: every decoding block has exactly one active output."""
+        bits = [(address >> i) & 1 for i in range(self.n)]
+        # Evaluate once, then inspect each block's output nets.
+        values = self._all_net_values(bits)
+        return all(
+            sum(values[net] for net in block.output_nets) == 1
+            for block in self.blocks
+        )
+
+    def check_property_b(self, block: DecodingBlock, address: int) -> bool:
+        """Forcing a block's outputs to all-0 forces the decoder to all-0."""
+        from repro.circuits.faults import NetStuckAt
+
+        faults = [NetStuckAt(net, 0) for net in block.output_nets]
+        return all(bit == 0 for bit in self.decode(address, faults=faults))
+
+    def _all_net_values(self, bits: Sequence[int]) -> List[int]:
+        """Net-by-net evaluation (internal; mirrors Circuit.evaluate)."""
+        from repro.circuits.gates import evaluate_gate
+
+        values = [0] * self.circuit.num_nets
+        for net, bit in zip(self.circuit.input_nets, bits):
+            values[net] = bit
+        for gate in self.circuit.gates:
+            values[gate.output] = evaluate_gate(
+                gate.gate_type, [values[s] for s in gate.inputs]
+            )
+        return values
+
+    def site_of_net(self, net: int) -> Optional[Tuple[DecodingBlock, int]]:
+        """(block, decoded sub-value) for a block-output net, else None.
+
+        Primary-input nets are not block outputs; every gate output in the
+        tree is an output of exactly one block.
+        """
+        return self.net_site.get(net)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecoderTree(n={self.n}, outputs={self.num_outputs}, "
+            f"gates={self.circuit.num_gates}, blocks={len(self.blocks)})"
+        )
+
+
+def build_decoder(n: int, name: str = "decoder") -> DecoderTree:
+    """Convenience constructor matching the paper's description."""
+    return DecoderTree(n, name=name)

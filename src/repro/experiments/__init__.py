@@ -1,0 +1,42 @@
+"""Regenerators for every table and figure of the paper (see DESIGN.md §5).
+
+Each module is runnable (``python -m repro.experiments.<name>``) and
+exposes a ``generate_*``/``run_*`` function returning structured rows so
+benches and tests can assert on the numbers.
+"""
+
+from repro.experiments.ablations import (
+    run_odd_a_ablation,
+    run_unordered_ablation,
+)
+from repro.experiments.area_example import generate_area_example
+from repro.experiments.decoder_style import run_decoder_style_experiment
+from repro.experiments.ecc_baseline import (
+    run_ecc_baseline,
+    storage_overhead_rows,
+)
+from repro.experiments.latency_empirical import run_latency_experiment
+from repro.experiments.safety_example import generate_safety_example
+from repro.experiments.structure import (
+    build_figure3_instance,
+    verify_structure,
+)
+from repro.experiments.table1 import generate_table1, render_table1
+from repro.experiments.table2 import generate_table2, render_table2
+
+__all__ = [
+    "generate_table1",
+    "render_table1",
+    "generate_table2",
+    "render_table2",
+    "generate_safety_example",
+    "generate_area_example",
+    "build_figure3_instance",
+    "verify_structure",
+    "run_latency_experiment",
+    "run_odd_a_ablation",
+    "run_unordered_ablation",
+    "run_ecc_baseline",
+    "storage_overhead_rows",
+    "run_decoder_style_experiment",
+]

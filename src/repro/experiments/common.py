@@ -1,0 +1,71 @@
+"""Shared fixtures for the experiment regenerators: the paper's reported
+numbers (for side-by-side printing) and small formatting helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.memory.organization import PAPER_ORGS
+
+__all__ = [
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "ORG_LABELS",
+    "parse_code_name",
+    "format_table",
+]
+
+#: Table (1): Pndc = 1e-9, c swept.  code name -> (16x2K, 32x4K, 64x8K) %.
+TABLE1_PAPER: Dict[int, Tuple[str, Tuple[float, float, float]]] = {
+    2: ("9-out-of-18", (88.7, 49.35, 26.28)),
+    5: ("5-out-of-9", (44.35, 24.6, 13.14)),
+    10: ("3-out-of-5", (24.8, 13.7, 7.3)),
+    20: ("2-out-of-4", (19.5, 9.67, 5.84)),
+    30: ("2-out-of-3", (15.0, 8.2, 4.38)),
+    40: ("1-out-of-2", (9.7, 5.48, 2.92)),
+}
+
+#: Table (2): c = 10, Pndc swept.
+TABLE2_PAPER: Dict[float, Tuple[str, Tuple[float, float, float]]] = {
+    1e-2: ("1-out-of-2", (9.7, 5.4, 2.92)),
+    1e-5: ("2-out-of-4", (19.5, 9.6, 5.84)),
+    1e-9: ("3-out-of-5", (24.8, 13.7, 7.3)),
+    1e-15: ("4-out-of-7", (34.2, 19.1, 10.2)),
+    1e-20: ("5-out-of-9", (44.35, 24.67, 13.14)),
+    1e-30: ("7-out-of-13", (63.5, 35.6, 18.9)),
+}
+
+ORG_LABELS: Tuple[str, ...] = tuple(org.label() for org in PAPER_ORGS)
+
+
+def parse_code_name(name: str) -> MOutOfNCode:
+    """'3-out-of-5' -> MOutOfNCode(3, 5).
+
+    >>> parse_code_name('3-out-of-5').cardinality()
+    10
+    """
+    parts = name.split("-out-of-")
+    if len(parts) != 2:
+        raise ValueError(f"cannot parse code name {name!r}")
+    return MOutOfNCode(int(parts[0]), int(parts[1]))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text aligned table (the benches print with this)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

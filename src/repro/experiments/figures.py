@@ -1,0 +1,127 @@
+"""ASCII renderings of the reproduction's data "figures".
+
+The paper itself has no data plots (its figures are block diagrams), but
+a modern writeup of the same results would show two curves.  These
+renderers produce them as plain text so benches, CI logs and the CLI can
+display them without any plotting dependency:
+
+* the **trade-off curve** — area overhead vs tolerated detection latency
+  (the content of Table 1 as a curve, per RAM size);
+* the **survival curve** — fraction of faults still undetected after c
+  cycles, measured vs analytic (the content of X1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot", "tradeoff_figure", "survival_figure"]
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/step plot.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x`` in order);
+    overlapping points show the later series' marker.
+    """
+    import math
+
+    markers = "*o+x#@"
+    points = [(name, pts) for name, pts in series.items() if pts]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    xs = [tx(x) for _, pts in points for x, _ in pts]
+    ys = [y for _, pts in points for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    lines.append(f"{y_label} (top={y_hi:g}, bottom={y_lo:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {('log10 ' if logx else '')}{x_lo:g} .. {x_hi:g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, (name, _) in enumerate(points)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def tradeoff_figure(
+    cs: Sequence[int] = (1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 60, 100),
+    pndc: float = 1e-9,
+) -> str:
+    """Area-vs-latency curve for the three paper RAMs (Table 1 as a plot)."""
+    from repro.core.tradeoff import TradeoffExplorer
+    from repro.memory.organization import PAPER_ORGS
+
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for org in PAPER_ORGS:
+        explorer = TradeoffExplorer(org)
+        series[org.label()] = [
+            (float(pt.c), pt.overhead_percent)
+            for pt in explorer.sweep_latency(cs, pndc)
+        ]
+    return ascii_plot(
+        series,
+        x_label="tolerated detection latency c (cycles)",
+        y_label="decoder-check area overhead %",
+        logx=True,
+    )
+
+
+def survival_figure(n_bits: int = 6, cycles: int = 400, seed: int = 7) -> str:
+    """Measured vs analytic escape fraction (X1 as a plot)."""
+    from repro.experiments.latency_empirical import run_latency_experiment
+
+    experiment = run_latency_experiment(
+        n_bits=n_bits, cycles=cycles, seed=seed
+    )
+    measured = [
+        (float(c), m) for c, (m, _) in sorted(experiment.curve.items())
+    ]
+    analytic = [
+        (float(c), a) for c, (_, a) in sorted(experiment.curve.items())
+    ]
+    return ascii_plot(
+        {"measured": measured, "analytic": analytic},
+        x_label="cycles c",
+        y_label="escape fraction",
+        logx=True,
+    )
+
+
+def main() -> None:
+    print("Trade-off curve (Pndc = 1e-9):\n")
+    print(tradeoff_figure())
+    print("\nSurvival curve (n=6 decoder, 3-out-of-5):\n")
+    print(survival_figure())
+
+
+if __name__ == "__main__":
+    main()

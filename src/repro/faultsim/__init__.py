@@ -1,0 +1,40 @@
+"""Monte-Carlo fault-injection campaigns and their result statistics."""
+
+from repro.faultsim.campaign import (
+    classify_structural_fault,
+    decoder_campaign,
+    scheme_campaign,
+)
+from repro.faultsim.injector import (
+    burst_addresses,
+    decoder_fault_list,
+    random_addresses,
+    rom_fault_list,
+    sample_faults,
+    sequential_addresses,
+)
+from repro.faultsim.results import CampaignResult, FaultRecord
+from repro.faultsim.transient import (
+    TransientResult,
+    TransientUpset,
+    scrubbed_stream,
+    transient_campaign,
+)
+
+__all__ = [
+    "TransientUpset",
+    "TransientResult",
+    "transient_campaign",
+    "scrubbed_stream",
+    "decoder_campaign",
+    "scheme_campaign",
+    "classify_structural_fault",
+    "random_addresses",
+    "sequential_addresses",
+    "burst_addresses",
+    "decoder_fault_list",
+    "rom_fault_list",
+    "sample_faults",
+    "CampaignResult",
+    "FaultRecord",
+]

@@ -1,0 +1,103 @@
+"""Stimulus generation and fault-list construction for campaigns."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.circuits.faults import FaultBase, NetStuckAt
+from repro.rom.nor_matrix import CheckedDecoder
+
+__all__ = [
+    "random_addresses",
+    "sequential_addresses",
+    "burst_addresses",
+    "decoder_fault_list",
+    "rom_fault_list",
+    "sample_faults",
+]
+
+
+def random_addresses(
+    n_bits: int, cycles: int, seed: int = 0
+) -> List[int]:
+    """Uniform i.i.d. address stream — the paper's latency model's regime."""
+    rng = random.Random(seed)
+    top = (1 << n_bits) - 1
+    return [rng.randint(0, top) for _ in range(cycles)]
+
+
+def sequential_addresses(n_bits: int, cycles: int, start: int = 0) -> List[int]:
+    """Linear sweep (wrapping) — a marching access pattern."""
+    size = 1 << n_bits
+    return [(start + i) % size for i in range(cycles)]
+
+
+def burst_addresses(
+    n_bits: int,
+    cycles: int,
+    locality: int = 8,
+    seed: int = 0,
+) -> List[int]:
+    """Bursty stream: short sequential runs at random bases (cache-like).
+
+    Stresses the latency model's uniformity assumption — the empirical
+    benches show detection slows when traffic never leaves a region whose
+    addresses share a residue class.
+    """
+    rng = random.Random(seed)
+    size = 1 << n_bits
+    stream: List[int] = []
+    while len(stream) < cycles:
+        base = rng.randrange(size)
+        run = rng.randint(1, locality)
+        for offset in range(run):
+            stream.append((base + offset) % size)
+            if len(stream) == cycles:
+                break
+    return stream
+
+
+def decoder_fault_list(
+    checked: CheckedDecoder, include_inputs: bool = False
+) -> List[FaultBase]:
+    """Stuck-at faults on every gate output of the decoder *tree* only.
+
+    ROM faults are enumerated separately (:func:`rom_fault_list`) since
+    the paper's analysis targets decoder faults; address-input stems are
+    excluded by default (out of the scheme's fault model — see
+    :mod:`repro.decoder.analysis`).
+    """
+    faults: List[FaultBase] = []
+    if include_inputs:
+        for net in checked.tree.circuit.input_nets:
+            for value in (0, 1):
+                faults.append(NetStuckAt(net, value))
+    for gate in checked.tree.circuit.gates:
+        for value in (0, 1):
+            faults.append(NetStuckAt(gate.output, value))
+    return faults
+
+
+def rom_fault_list(checked: CheckedDecoder) -> List[FaultBase]:
+    """Stuck-at faults on the NOR-matrix output nets.
+
+    A ROM output stuck-at flips one bit of every emitted word — caught by
+    the m-out-of-n checker whenever the programmed bit differs (the word
+    weight goes off-m), which the X3 bench quantifies.
+    """
+    faults: List[FaultBase] = []
+    for net in checked.rom_nets:
+        for value in (0, 1):
+            faults.append(NetStuckAt(net, value))
+    return faults
+
+
+def sample_faults(
+    faults: Sequence[FaultBase], count: Optional[int], seed: int = 0
+) -> List[FaultBase]:
+    """Deterministic sub-sample for time-boxed campaigns (None = all)."""
+    if count is None or count >= len(faults):
+        return list(faults)
+    rng = random.Random(seed)
+    return rng.sample(list(faults), count)

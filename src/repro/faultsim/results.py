@@ -1,0 +1,131 @@
+"""Result containers and statistics for fault-injection campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FaultRecord", "CampaignResult"]
+
+
+@dataclass
+class FaultRecord:
+    """Outcome of simulating one fault against one address stream."""
+
+    #: printable fault identity
+    fault: object
+    #: 'sa0' | 'sa1' | 'address' | 'memory' | 'rom'
+    kind: str
+    #: cycle (0-based) of first detection; None = never detected
+    first_detection: Optional[int]
+    #: cycle of the first *error* at the observed outputs; None = never excited
+    first_error: Optional[int] = None
+    #: analytic per-cycle escape probability, when available
+    analytic_escape: Optional[float] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.first_detection is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from first error to detection (0 = caught immediately)."""
+        if self.first_detection is None or self.first_error is None:
+            return None
+        return self.first_detection - self.first_error
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over a fault list."""
+
+    records: List[FaultRecord] = field(default_factory=list)
+    cycles_simulated: int = 0
+
+    def add(self, record: FaultRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for r in self.records if r.detected)
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.records else 1.0
+
+    def undetected(self) -> List[FaultRecord]:
+        return [r for r in self.records if not r.detected]
+
+    def detection_cycles(self) -> List[int]:
+        return [
+            r.first_detection for r in self.records if r.detected
+        ]
+
+    def mean_detection_cycle(self) -> float:
+        cycles = self.detection_cycles()
+        return sum(cycles) / len(cycles) if cycles else math.nan
+
+    def max_detection_cycle(self) -> Optional[int]:
+        cycles = self.detection_cycles()
+        return max(cycles) if cycles else None
+
+    def detected_within(self, c: int) -> int:
+        """Faults detected within the first ``c`` cycles (cycle < c)."""
+        return sum(
+            1
+            for r in self.records
+            if r.detected and r.first_detection < c
+        )
+
+    def escape_fraction_at(self, c: int) -> float:
+        """Fraction of faults still undetected after ``c`` cycles —
+        the empirical counterpart of the paper's ``Pndc`` (averaged over
+        the fault list rather than the worst site)."""
+        if not self.records:
+            return 0.0
+        return 1.0 - self.detected_within(c) / self.total
+
+    def latency_histogram(self, bins: Optional[List[int]] = None) -> Dict[str, int]:
+        """Counts of first-detection cycles in ranges (for the figures)."""
+        if bins is None:
+            bins = [1, 2, 5, 10, 20, 50, 100]
+        edges = [0] + sorted(bins)
+        hist: Dict[str, int] = {}
+        for lo, hi in zip(edges, edges[1:]):
+            label = f"[{lo},{hi})"
+            hist[label] = sum(
+                1
+                for r in self.records
+                if r.detected and lo <= r.first_detection < hi
+            )
+        last = edges[-1]
+        hist[f"[{last},inf)"] = sum(
+            1
+            for r in self.records
+            if r.detected and r.first_detection >= last
+        )
+        hist["undetected"] = self.total - self.detected
+        return hist
+
+    def by_kind(self) -> Dict[str, "CampaignResult"]:
+        out: Dict[str, CampaignResult] = {}
+        for record in self.records:
+            out.setdefault(
+                record.kind, CampaignResult(cycles_simulated=self.cycles_simulated)
+            ).add(record)
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "faults": self.total,
+            "detected": self.detected,
+            "coverage": round(self.coverage, 6),
+            "mean_detection_cycle": self.mean_detection_cycle(),
+            "max_detection_cycle": self.max_detection_cycle(),
+            "cycles_simulated": self.cycles_simulated,
+        }

@@ -1,0 +1,103 @@
+"""Transient (soft-error) fault campaigns — the on-line-testing motivation.
+
+The paper's introduction frames self-checking as *on-line* reliability:
+faults appear during operation.  Beyond the permanent stuck-at model of
+§III we add single-event upsets — a stored bit flips at some cycle — and
+measure how long the parity path takes to observe them under a given
+access pattern.  The detection latency here is governed by the *traffic*,
+not the code: parity catches the flip on the first read of the victim
+word, so latency = time-to-next-read, which the campaign quantifies for
+uniform, sequential and scrubbed access streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.memory.ram import BehavioralRAM
+
+__all__ = [
+    "TransientUpset",
+    "TransientResult",
+    "transient_campaign",
+    "scrubbed_stream",
+]
+
+
+@dataclass(frozen=True)
+class TransientUpset:
+    """A single-event upset: bit ``bit`` of ``address`` flips at ``cycle``."""
+
+    address: int
+    bit: int
+    cycle: int
+
+
+@dataclass
+class TransientResult:
+    upset: TransientUpset
+    #: cycle at which a read of the victim word flagged the parity error
+    detected_at: Optional[int]
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.upset.cycle
+
+
+def scrubbed_stream(
+    words: int,
+    cycles: int,
+    scrub_period: int,
+    seed: int = 0,
+) -> List[int]:
+    """Random traffic with a background scrubber visiting one word every
+    ``scrub_period`` cycles (round-robin) — bounding time-to-next-read."""
+    rng = random.Random(seed)
+    stream: List[int] = []
+    scrub_ptr = 0
+    for cycle in range(cycles):
+        if scrub_period > 0 and cycle % scrub_period == 0:
+            stream.append(scrub_ptr % words)
+            scrub_ptr += 1
+        else:
+            stream.append(rng.randrange(words))
+    return stream
+
+
+def transient_campaign(
+    ram: BehavioralRAM,
+    upsets: Sequence[TransientUpset],
+    addresses: Sequence[int],
+) -> List[TransientResult]:
+    """Replay the address stream once per upset, flipping the victim bit
+    at the upset cycle and recording the first parity-failing read.
+
+    The RAM must have parity enabled; it is (re)initialised with zero
+    words so every stored word is a parity code word.
+    """
+    if not ram.with_parity:
+        raise ValueError("transient campaign needs a parity-protected RAM")
+    results: List[TransientResult] = []
+    zero = (0,) * ram.organization.bits
+    for upset in upsets:
+        if not 0 <= upset.address < ram.organization.words:
+            raise ValueError(f"upset address {upset.address} out of range")
+        for address in range(ram.organization.words):
+            ram.write(address, zero)
+        detected: Optional[int] = None
+        flipped = False
+        for cycle, address in enumerate(addresses):
+            if cycle >= upset.cycle and not flipped:
+                ram.flip_stored_bit(upset.address, upset.bit)
+                flipped = True
+            word = ram.read(address)
+            if address == upset.address and flipped:
+                if not ram.parity_code.is_codeword(word):
+                    detected = cycle
+                    break
+        results.append(TransientResult(upset=upset, detected_at=detected))
+    return results

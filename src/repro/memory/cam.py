@@ -1,0 +1,89 @@
+"""Behavioural CAM — the last of the §IV "other memory types".
+
+A content-addressable memory stores tag words and answers *match*
+queries: which entries equal the search key?  Reads-by-index reuse the
+RAM read path (and hence the parity protection); the match port is
+modelled with per-entry match lines so the extension experiments can
+study how a stored-cell fault corrupts matching (a stuck cell causes both
+false hits and false misses, only the read path of which parity can see —
+the match path needs the decoder-style checking on its priority encoder,
+which we model behaviourally).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.memory.faults import MemoryFault
+from repro.memory.organization import MemoryOrganization
+from repro.memory.ram import BehavioralRAM
+
+__all__ = ["BehavioralCAM"]
+
+
+class BehavioralCAM:
+    """CAM with ``entries`` tag words of ``tag_bits`` bits each."""
+
+    def __init__(self, entries: int, tag_bits: int):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(
+                f"entry count must be a power of two, got {entries}"
+            )
+        mux = 2 if entries >= 4 else 1
+        if mux == 1:
+            raise ValueError("CAM needs at least 4 entries")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self._store = BehavioralRAM(
+            MemoryOrganization(words=entries, bits=tag_bits, column_mux=mux)
+        )
+        self._valid: List[bool] = [False] * entries
+
+    def __repr__(self) -> str:
+        return f"BehavioralCAM(entries={self.entries}, tag_bits={self.tag_bits})"
+
+    def inject(self, fault: MemoryFault) -> None:
+        """Behavioural faults land on the backing store (read/match path)."""
+        self._store.inject(fault)
+
+    def clear_faults(self) -> None:
+        self._store.clear_faults()
+
+    def write(self, index: int, tag: Sequence[int]) -> None:
+        self._store.write(index, tag)
+        self._valid[index] = True
+
+    def invalidate(self, index: int) -> None:
+        if not 0 <= index < self.entries:
+            raise ValueError(f"index {index} out of range")
+        self._valid[index] = False
+
+    def read(self, index: int) -> Tuple[int, ...]:
+        """Read-by-index (data + parity) — the parity-protected path."""
+        return self._store.read(index)
+
+    def parity_ok(self, index: int) -> bool:
+        return self._store.parity_ok(index)
+
+    def match_lines(self, key: Sequence[int]) -> Tuple[int, ...]:
+        """Per-entry match vector for a search key (faults applied)."""
+        key = tuple(key)
+        if len(key) != self.tag_bits:
+            raise ValueError(
+                f"expected {self.tag_bits} key bits, got {len(key)}"
+            )
+        lines = []
+        for index in range(self.entries):
+            if not self._valid[index]:
+                lines.append(0)
+                continue
+            stored = self._store.read_data(index)
+            lines.append(1 if stored == key else 0)
+        return tuple(lines)
+
+    def lookup(self, key: Sequence[int]) -> Optional[int]:
+        """First matching entry index (priority encoder), or None."""
+        for index, hit in enumerate(self.match_lines(key)):
+            if hit:
+                return index
+        return None

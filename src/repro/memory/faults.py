@@ -1,0 +1,132 @@
+"""Behavioural memory fault models.
+
+These act on the *behavioural* parts of the memory (cell array, MUX, data
+register); decoder and ROM faults are structural
+(:class:`repro.circuits.faults.NetStuckAt` injected into the gate-level
+trees).  Each fault mutates the value observed by a read — the array
+contents themselves are kept pristine so faults can be added and removed
+freely during a campaign.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+__all__ = [
+    "MemoryFault",
+    "CellStuckAt",
+    "DataLineStuckAt",
+    "MuxLineStuckAt",
+    "CouplingFault",
+]
+
+
+class MemoryFault(abc.ABC):
+    """A fault observable on the read path of a behavioural memory."""
+
+    @abc.abstractmethod
+    def apply_read(self, address: int, word: list, memory) -> None:
+        """Mutate ``word`` (list of bits) in place for a read of ``address``."""
+
+    def apply_write(self, address: int, word: list, memory) -> None:
+        """Hook for faults that corrupt writes; default: no effect."""
+
+
+class CellStuckAt(MemoryFault):
+    """One cell of the array stuck at a value — flips at most one output
+    bit, the single-parity-bit case of §II."""
+
+    def __init__(self, address: int, bit: int, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+        self.address = address
+        self.bit = bit
+        self.value = value
+
+    def apply_read(self, address: int, word: list, memory) -> None:
+        if address == self.address:
+            word[self.bit] = self.value
+
+    def __repr__(self) -> str:
+        return f"CellStuckAt(addr={self.address}, bit={self.bit}, sa{self.value})"
+
+
+class DataLineStuckAt(MemoryFault):
+    """A data-register/output line stuck — affects every address."""
+
+    def __init__(self, bit: int, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+        self.bit = bit
+        self.value = value
+
+    def apply_read(self, address: int, word: list, memory) -> None:
+        word[self.bit] = self.value
+
+    def __repr__(self) -> str:
+        return f"DataLineStuckAt(bit={self.bit}, sa{self.value})"
+
+
+class MuxLineStuckAt(MemoryFault):
+    """A column-mux way stuck: reads of one mux way return a stuck bit.
+
+    Each MUX line connects to exactly one memory output (§II), so this
+    also flips at most one output bit per read — parity-detectable.
+    """
+
+    def __init__(self, column: int, bit: int, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+        self.column = column
+        self.bit = bit
+        self.value = value
+
+    def apply_read(self, address: int, word: list, memory) -> None:
+        if memory.organization.split_address(address)[1] == self.column:
+            word[self.bit] = self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"MuxLineStuckAt(column={self.column}, bit={self.bit}, "
+            f"sa{self.value})"
+        )
+
+
+class CouplingFault(MemoryFault):
+    """Idempotent coupling: reading the victim sees the aggressor's value
+    forced into one bit when the aggressor cell holds ``trigger``.
+
+    Beyond the paper's single-stuck-at model; used by the extension tests
+    to show what parity does and does not catch.
+    """
+
+    def __init__(
+        self,
+        aggressor_address: int,
+        aggressor_bit: int,
+        victim_address: int,
+        victim_bit: int,
+        trigger: int = 1,
+        forced: int = 1,
+    ):
+        self.aggressor_address = aggressor_address
+        self.aggressor_bit = aggressor_bit
+        self.victim_address = victim_address
+        self.victim_bit = victim_bit
+        self.trigger = trigger
+        self.forced = forced
+
+    def apply_read(self, address: int, word: list, memory) -> None:
+        if address != self.victim_address:
+            return
+        aggressor = memory.raw_word(self.aggressor_address)
+        if aggressor[self.aggressor_bit] == self.trigger:
+            word[self.victim_bit] = self.forced
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingFault(aggr=({self.aggressor_address},"
+            f"{self.aggressor_bit}), victim=({self.victim_address},"
+            f"{self.victim_bit}))"
+        )

@@ -1,0 +1,131 @@
+"""Physical memory organisation: words, bits, column multiplexing.
+
+The paper's area formula (§IV) is phrased in terms of a RAM with ``m``-bit
+words, a row decoder with ``p`` inputs (2^p outputs = word lines) and a
+column decoder with ``s`` inputs (2^s outputs, one per mux way), with
+``n = p + s`` address lines.  The cell array is then ``2^p`` rows by
+``m * 2^s`` columns.  This class derives (p, s) from the designer-facing
+parameters (word count, word width, column-mux factor) and carries them to
+the area model and the scheme builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryOrganization", "PAPER_ORGS", "paper_org"]
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class MemoryOrganization:
+    """Word-oriented RAM organisation.
+
+    >>> org = MemoryOrganization(words=1024, bits=16, column_mux=8)
+    >>> org.n, org.p, org.s
+    (10, 7, 3)
+    >>> org.rows, org.array_columns
+    (128, 128)
+    """
+
+    words: int
+    bits: int
+    column_mux: int = 8
+
+    def __post_init__(self):
+        n = _log2_exact(self.words, "word count")
+        s = _log2_exact(self.column_mux, "column mux factor")
+        if self.bits < 1:
+            raise ValueError(f"word width must be >= 1, got {self.bits}")
+        if s >= n:
+            raise ValueError(
+                f"mux factor {self.column_mux} consumes every address bit "
+                f"of a {self.words}-word memory"
+            )
+
+    @property
+    def n(self) -> int:
+        """Total address bits."""
+        return _log2_exact(self.words, "word count")
+
+    @property
+    def s(self) -> int:
+        """Column-decoder address bits (mux select)."""
+        return _log2_exact(self.column_mux, "column mux factor")
+
+    @property
+    def p(self) -> int:
+        """Row-decoder address bits."""
+        return self.n - self.s
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.p
+
+    @property
+    def columns_per_bit(self) -> int:
+        return self.column_mux
+
+    @property
+    def array_columns(self) -> int:
+        return self.bits * self.column_mux
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.words * self.bits
+
+    def split_address(self, address: int) -> tuple:
+        """(row, column) for an address: low ``s`` bits select the mux way.
+
+        >>> MemoryOrganization(1024, 16, 8).split_address(0b1010110_101)
+        (86, 5)
+        """
+        if not 0 <= address < self.words:
+            raise ValueError(
+                f"address {address} out of range [0, {self.words})"
+            )
+        return address >> self.s, address & (self.column_mux - 1)
+
+    def join_address(self, row: int, column: int) -> int:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+        if not 0 <= column < self.column_mux:
+            raise ValueError(
+                f"column {column} out of range [0, {self.column_mux})"
+            )
+        return (row << self.s) | column
+
+    def label(self) -> str:
+        """Paper-style size label, e.g. ``'16x2K'``."""
+        if self.words % 1024 == 0:
+            return f"{self.bits}x{self.words // 1024}K"
+        return f"{self.bits}x{self.words}"
+
+
+#: The three embedded-RAM sizes evaluated in §IV (AT&T 0.4um std-cell
+#: RAMs), all with the 1-out-of-8 column multiplexing of the §IV example.
+PAPER_ORGS = (
+    MemoryOrganization(words=2048, bits=16, column_mux=8),
+    MemoryOrganization(words=4096, bits=32, column_mux=8),
+    MemoryOrganization(words=8192, bits=64, column_mux=8),
+)
+
+
+def paper_org(label: str) -> MemoryOrganization:
+    """Look up one of the paper's RAM sizes by its table label.
+
+    >>> paper_org('16x2K').words
+    2048
+    """
+    for org in PAPER_ORGS:
+        if org.label() == label:
+            return org
+    raise KeyError(
+        f"unknown paper organisation {label!r}; "
+        f"known: {[o.label() for o in PAPER_ORGS]}"
+    )

@@ -1,0 +1,83 @@
+"""Behavioural ROM — "other memory types" of §IV.
+
+Identical read path to the RAM (so the same decoder-checking scheme and
+the same fault models apply) but with contents fixed at construction and
+no write port.  The paper notes the trade-off transfers unchanged to
+ROMs, CAMs etc.; the structure benchmark instantiates a self-checking ROM
+to demonstrate it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.codes.parity import ParityCode
+from repro.memory.faults import MemoryFault
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["BehavioralROM"]
+
+
+class BehavioralROM:
+    """Read-only memory with parity and behavioural fault injection."""
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        contents: Sequence[Sequence[int]],
+        with_parity: bool = True,
+    ):
+        if len(contents) != organization.words:
+            raise ValueError(
+                f"expected {organization.words} words of contents, "
+                f"got {len(contents)}"
+            )
+        self.organization = organization
+        self.with_parity = with_parity
+        self.parity_code = (
+            ParityCode(organization.bits) if with_parity else None
+        )
+        self._array: List[Tuple[int, ...]] = []
+        for word in contents:
+            word = tuple(word)
+            if len(word) != organization.bits:
+                raise ValueError(
+                    f"ROM word must have {organization.bits} bits, "
+                    f"got {len(word)}"
+                )
+            if with_parity:
+                word = word + (self.parity_code.parity_bit(word),)
+            self._array.append(word)
+        self.faults: List[MemoryFault] = []
+
+    def __repr__(self) -> str:
+        return f"BehavioralROM({self.organization.label()})"
+
+    @property
+    def word_width(self) -> int:
+        return self.organization.bits + (1 if self.with_parity else 0)
+
+    def inject(self, fault: MemoryFault) -> None:
+        self.faults.append(fault)
+
+    def clear_faults(self) -> None:
+        self.faults.clear()
+
+    def read(self, address: int) -> Tuple[int, ...]:
+        if not 0 <= address < self.organization.words:
+            raise ValueError(
+                f"address {address} out of range "
+                f"[0, {self.organization.words})"
+            )
+        word = list(self._array[address])
+        for fault in self.faults:
+            fault.apply_read(address, word, self)
+        return tuple(word)
+
+    def raw_word(self, address: int) -> Tuple[int, ...]:
+        return self._array[address]
+
+    def parity_ok(self, address: int) -> bool:
+        if not self.with_parity:
+            raise RuntimeError("ROM built without parity")
+        return self.parity_code.is_codeword(self.read(address))

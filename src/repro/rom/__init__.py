@@ -1,0 +1,5 @@
+"""NOR/ROM matrix models for the decoder-checking scheme."""
+
+from repro.rom.nor_matrix import CheckedDecoder, NORMatrix
+
+__all__ = ["CheckedDecoder", "NORMatrix"]

@@ -1,0 +1,185 @@
+"""The NOR (ROM) matrix that re-encodes decoder outputs (§III).
+
+One ROM row per decoder word line; the matrix is programmed so that when
+word line ``L`` alone is active, the ROM outputs ``codeword(L)``.  In a
+NOR matrix each output column is a NOR over the word lines programmed
+with a 0 in that column, which gives the two load-bearing behaviours the
+paper exploits:
+
+* no line active (stuck-at-0 faults): every output floats high — the
+  **all-1s vector**, a non-code word of any unordered code;
+* two lines active (stuck-at-1 faults): each output is high only if both
+  lines' code words are high there — the **bitwise AND** of the two code
+  words, a non-code word whenever the words differ (unorderedness).
+
+Both a fast behavioural model and a gate-level netlist view are provided;
+the gate-level view is appended to the decoder's own circuit so a single
+fault-simulation pass covers decoder *and* ROM faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+from repro.codes.base import BitVector
+from repro.core.mapping import AddressMapping
+from repro.decoder.tree import DecoderTree
+
+__all__ = ["NORMatrix", "CheckedDecoder"]
+
+
+class NORMatrix:
+    """A programmable NOR matrix over ``num_lines`` one-hot input lines."""
+
+    def __init__(self, rows: Sequence[BitVector]):
+        if not rows:
+            raise ValueError("NOR matrix needs at least one programmed row")
+        width = len(rows[0])
+        for row in rows:
+            if len(row) != width:
+                raise ValueError("all programmed rows must share one width")
+        self.rows: Tuple[BitVector, ...] = tuple(tuple(r) for r in rows)
+        self.num_lines = len(rows)
+        self.width = width
+        # Column b is a NOR over lines whose programmed word is 0 at b.
+        self._nor_members: List[Tuple[int, ...]] = [
+            tuple(
+                line for line in range(self.num_lines) if self.rows[line][b] == 0
+            )
+            for b in range(width)
+        ]
+
+    @classmethod
+    def from_mapping(cls, mapping: AddressMapping) -> "NORMatrix":
+        """Program one row per decoder output from an address mapping."""
+        return cls(mapping.table())
+
+    def __repr__(self) -> str:
+        return f"NORMatrix(lines={self.num_lines}, width={self.width})"
+
+    # -- behavioural model -------------------------------------------------
+
+    def output(self, line_vector: Sequence[int]) -> BitVector:
+        """ROM outputs for an arbitrary word-line vector.
+
+        >>> m = NORMatrix([(1, 0), (0, 1)])
+        >>> m.output((1, 0))
+        (1, 0)
+        >>> m.output((0, 0))   # nothing selected -> all ones
+        (1, 1)
+        >>> m.output((1, 1))   # two lines -> AND of their words
+        (0, 0)
+        """
+        if len(line_vector) != self.num_lines:
+            raise ValueError(
+                f"expected {self.num_lines} word lines, got {len(line_vector)}"
+            )
+        return tuple(
+            0 if any(line_vector[l] for l in members) else 1
+            for members in self._nor_members
+        )
+
+    def output_for_lines(self, active: Sequence[int]) -> BitVector:
+        """ROM outputs given the indices of active word lines (sparse form)."""
+        active_set = set(active)
+        word = [1] * self.width
+        for line in active_set:
+            if not 0 <= line < self.num_lines:
+                raise ValueError(f"line {line} out of range")
+            for b in range(self.width):
+                if self.rows[line][b] == 0:
+                    word[b] = 0
+        return tuple(word)
+
+    # -- gate-level view ------------------------------------------------------
+
+    def append_to_circuit(
+        self, circuit: Circuit, line_nets: Sequence[int], name: str = "rom"
+    ) -> List[int]:
+        """Add one NOR gate per output column; returns the output nets.
+
+        Columns whose programmed set is empty (every row has a 1 there)
+        are constant-1 and realised with a CONST1 pseudo-gate, matching a
+        ROM column with no transistors.
+        """
+        if len(line_nets) != self.num_lines:
+            raise ValueError(
+                f"expected {self.num_lines} line nets, got {len(line_nets)}"
+            )
+        outputs: List[int] = []
+        for b, members in enumerate(self._nor_members):
+            if members:
+                net = circuit.add_gate(
+                    GateType.NOR,
+                    [line_nets[l] for l in members],
+                    name=f"{name}_b{b}",
+                )
+            else:
+                net = circuit.add_gate(
+                    GateType.CONST1, (), name=f"{name}_b{b}_const"
+                )
+            outputs.append(net)
+        return outputs
+
+
+class CheckedDecoder:
+    """A decoder tree with its checking NOR matrix — figure 3, one axis.
+
+    Wraps a :class:`DecoderTree` and the ROM programmed from ``mapping``
+    into a single gate-level circuit whose outputs are the ROM word (the
+    word lines stay observable through :meth:`decode`).
+    """
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        name: str = "checked_decoder",
+        decoder=None,
+    ):
+        """``decoder`` may be a prebuilt decoder (e.g. a
+        :class:`~repro.decoder.flat.FlatDecoder`) exposing the
+        DecoderTree interface; by default the §III.2 multilevel tree is
+        built.  The decoder's circuit gains the ROM gates in place."""
+        self.mapping = mapping
+        self.n = mapping.n_bits
+        if decoder is not None and decoder.n != self.n:
+            raise ValueError(
+                f"decoder covers {decoder.n} bits, mapping needs {self.n}"
+            )
+        self.tree = decoder or DecoderTree(self.n, name=f"{name}_tree")
+        self.matrix = NORMatrix.from_mapping(mapping)
+        self.circuit = self.tree.circuit
+        self.rom_nets = self.matrix.append_to_circuit(
+            self.circuit,
+            [self.circuit.output_nets[i] for i in range(1 << self.n)],
+            name=f"{name}_rom",
+        )
+        for b, net in enumerate(self.rom_nets):
+            self.circuit.mark_output(net, name=f"rom{b}")
+        self._num_lines = 1 << self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckedDecoder(n={self.n}, code_width={self.matrix.width}, "
+            f"gates={self.circuit.num_gates})"
+        )
+
+    def evaluate(
+        self, address: int, faults=()
+    ) -> Tuple[Tuple[int, ...], BitVector]:
+        """(word lines, ROM word) for an address, optionally faulted."""
+        if not 0 <= address < self._num_lines:
+            raise ValueError(f"address {address} out of range")
+        bits = [(address >> i) & 1 for i in range(self.n)]
+        outs = self.circuit.evaluate(bits, faults=faults)
+        return outs[: self._num_lines], outs[self._num_lines :]
+
+    def rom_word(self, address: int, faults=()) -> BitVector:
+        """Just the ROM word (what the q-out-of-r checker observes)."""
+        return self.evaluate(address, faults=faults)[1]
+
+    def expected_word(self, address: int) -> BitVector:
+        """The fault-free ROM word (equals ``mapping.codeword(address)``)."""
+        return self.mapping.codeword(address)

@@ -1,0 +1,100 @@
+"""Bit-level helpers shared by codes, circuits and memory models.
+
+Bit vectors are represented as tuples of ints (0/1), most-significant bit
+first, matching how the paper writes address vectors (a1 ... an with a1 the
+most significant input of the decoder).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "popcount",
+    "parity_of",
+    "int_to_bits",
+    "bits_to_int",
+    "bit_slice",
+    "all_bit_vectors",
+    "hamming_distance",
+]
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative integer.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative int, got {value}")
+    return bin(value).count("1")
+
+
+def parity_of(value: int) -> int:
+    """Even/odd parity (1 iff an odd number of set bits).
+
+    >>> parity_of(0b101)
+    0
+    >>> parity_of(0b100)
+    1
+    """
+    return popcount(value) & 1
+
+
+def int_to_bits(value: int, width: int) -> Tuple[int, ...]:
+    """Encode ``value`` as a width-``width`` MSB-first bit tuple.
+
+    >>> int_to_bits(5, 4)
+    (0, 1, 0, 1)
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Decode an MSB-first bit sequence back into an integer.
+
+    >>> bits_to_int((0, 1, 0, 1))
+    5
+    """
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit vector may contain only 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def bit_slice(value: int, width: int, lo: int, hi: int) -> int:
+    """Extract bits ``lo .. hi-1`` (LSB-indexed, half-open) of ``value``.
+
+    ``bit_slice(v, w, 0, w)`` is ``v`` itself.
+
+    >>> bit_slice(0b110101, 6, 1, 4)   # bits 1..3 -> 0b010
+    2
+    """
+    if not 0 <= lo <= hi <= width:
+        raise ValueError(f"invalid slice [{lo}, {hi}) for width {width}")
+    mask = (1 << (hi - lo)) - 1
+    return (value >> lo) & mask
+
+
+def all_bit_vectors(width: int) -> Iterable[Tuple[int, ...]]:
+    """Yield every MSB-first bit vector of the given width, in numeric order."""
+    for value in range(1 << width):
+        yield int_to_bits(value, width)
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Hamming distance between two equal-length bit vectors.
+
+    >>> hamming_distance((0, 1, 1), (1, 1, 0))
+    2
+    """
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)

@@ -1,0 +1,76 @@
+"""Combinatorial helpers used throughout the code-selection machinery.
+
+The paper's code selection repeatedly needs binomial coefficients
+``C(r, q)`` (the cardinality of a q-out-of-r constant-weight code) and the
+smallest width ``r`` whose maximal constant-weight code reaches a target
+cardinality.  Everything here is exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "binomial",
+    "central_binomial",
+    "max_constant_weight_cardinality",
+    "smallest_r_for_cardinality",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient ``C(n, k)``; zero outside ``0 <= k <= n``.
+
+    >>> binomial(5, 3)
+    10
+    >>> binomial(3, 5)
+    0
+    """
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def central_binomial(r: int) -> int:
+    """Cardinality of the densest constant-weight code of length ``r``.
+
+    A q-out-of-r code has ``C(r, q)`` code words, maximised at
+    ``q = floor(r/2)`` (equivalently ``ceil(r/2)`` — the two are equal by
+    symmetry of Pascal's triangle).  The paper restricts itself to these
+    maximal codes because they need the fewest bits for a given number of
+    code words.
+
+    >>> central_binomial(5)
+    10
+    >>> central_binomial(4)
+    6
+    """
+    if r < 0:
+        raise ValueError(f"code width must be non-negative, got {r}")
+    return math.comb(r, r // 2)
+
+
+def max_constant_weight_cardinality(r: int) -> int:
+    """Alias of :func:`central_binomial` with a self-describing name."""
+    return central_binomial(r)
+
+
+def smallest_r_for_cardinality(target: int) -> int:
+    """Smallest width ``r`` with ``C(r, floor(r/2)) >= target``.
+
+    This is the paper's rule: "we select the code q-out-of-r with minimum r
+    that satisfies C(r, q) >= a and q = floor(r/2) (or ceil(r/2))".
+
+    >>> smallest_r_for_cardinality(9)    # 3-out-of-5 has C = 10
+    5
+    >>> smallest_r_for_cardinality(2)    # 1-out-of-2
+    2
+    >>> smallest_r_for_cardinality(1001) # 6-out-of-13 has C = 1716
+    13
+    """
+    if target < 1:
+        raise ValueError(f"target cardinality must be >= 1, got {target}")
+    r = 1
+    while central_binomial(r) < target:
+        r += 1
+    return r

@@ -1,0 +1,173 @@
+import pytest
+
+from repro.area.gatecount import (
+    GATE_AREA_CELLS,
+    circuit_area_cells,
+    decoder_gate_count,
+    m_out_of_n_checker_gates,
+    parity_checker_gates,
+    two_rail_tree_gates,
+)
+from repro.area.model import PaperAreaModel
+from repro.area.stdcell import StdCellAreaModel
+from repro.memory.organization import (
+    PAPER_ORGS,
+    MemoryOrganization,
+    paper_org,
+)
+
+SECTION_IV_ORG = MemoryOrganization(1024, 16, column_mux=8)
+
+
+class TestPaperAnalyticModel:
+    def test_parity_bit_matches_paper(self):
+        model = PaperAreaModel(k=0.3)
+        assert model.parity_bit_overhead(SECTION_IV_ORG) == pytest.approx(
+            0.0625
+        )
+
+    def test_parity_checker_matches_paper(self):
+        model = PaperAreaModel(k=0.3)
+        assert model.parity_checker_overhead(
+            SECTION_IV_ORG
+        ) == pytest.approx(0.0015)
+
+    def test_rom_overhead_formula_as_printed(self):
+        # k (r1 2^s + r2 2^p) / (m 2^n) = 0.3(5*8 + 5*128)/(16*1024)
+        model = PaperAreaModel(k=0.3)
+        value = model.rom_overhead(SECTION_IV_ORG, r_row=5)
+        assert value == pytest.approx(0.3 * 680 / 16384)
+
+    def test_rom_overhead_scales_linearly_with_r(self):
+        model = PaperAreaModel(k=0.3)
+        one = model.rom_overhead(SECTION_IV_ORG, r_row=1)
+        assert model.rom_overhead(SECTION_IV_ORG, r_row=7) == pytest.approx(
+            7 * one
+        )
+
+    def test_breakdown_totals(self):
+        model = PaperAreaModel(k=0.3)
+        bd = model.breakdown(SECTION_IV_ORG, r_row=5)
+        assert bd.total == pytest.approx(
+            bd.rom_row + bd.rom_column + bd.parity_bit + bd.parity_checker
+        )
+        assert bd.percent("parity_bit") == pytest.approx(6.25)
+
+    def test_asymmetric_codes(self):
+        model = PaperAreaModel(k=0.3)
+        bd = model.breakdown(SECTION_IV_ORG, r_row=9, r_column=2)
+        assert bd.rom_row > bd.rom_column
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PaperAreaModel(k=0)
+
+
+class TestStdCellModel:
+    """The calibrated model must reproduce all 36 table entries closely."""
+
+    TABLE1 = {
+        18: (88.7, 49.35, 26.28),
+        9: (44.35, 24.6, 13.14),
+        5: (24.8, 13.7, 7.3),
+        4: (19.5, 9.67, 5.84),
+        3: (15.0, 8.2, 4.38),
+        2: (9.7, 5.48, 2.92),
+    }
+    TABLE2_EXTRA = {
+        7: (34.2, 19.1, 10.2),
+        13: (63.5, 35.6, 18.9),
+    }
+
+    @pytest.mark.parametrize("r", sorted(TABLE1))
+    def test_table1_entries_within_tolerance(self, r):
+        model = StdCellAreaModel()
+        for org, reported in zip(PAPER_ORGS, self.TABLE1[r]):
+            ours = model.overhead_percent(org, r_row=r)
+            # The (2-out-of-4, 32x4K) entry 9.67 breaks the paper's own
+            # linearity (every other row is ~2.74 %/unit-r for this RAM,
+            # predicting 10.96); treat it as the outlier it is.
+            tolerance = 0.15 if (r, org.label()) == (4, "32x4K") else 0.07
+            assert ours == pytest.approx(reported, rel=tolerance), (
+                r,
+                org.label(),
+            )
+
+    @pytest.mark.parametrize("r", sorted(TABLE2_EXTRA))
+    def test_table2_extra_codes_within_tolerance(self, r):
+        model = StdCellAreaModel()
+        for org, reported in zip(PAPER_ORGS, self.TABLE2_EXTRA[r]):
+            ours = model.overhead_percent(org, r_row=r)
+            assert ours == pytest.approx(reported, rel=0.07), (r, org.label())
+
+    def test_overhead_linear_in_r(self):
+        model = StdCellAreaModel()
+        org = paper_org("16x2K")
+        slope = model.slope_percent_per_r(org)
+        assert model.overhead_percent(org, r_row=13) == pytest.approx(
+            13 * slope
+        )
+
+    def test_overhead_falls_with_capacity(self):
+        model = StdCellAreaModel()
+        values = [model.overhead_percent(org, 5) for org in PAPER_ORGS]
+        assert values[0] > values[1] > values[2]
+        # each 4x capacity step cuts relative overhead by slightly less
+        # than 2x (the periphery term), as in the paper's tables
+        assert 1.7 < values[0] / values[1] < 2.0
+        assert 1.7 < values[1] / values[2] < 2.0
+
+    def test_checker_inclusion_adds_little(self):
+        model_with = StdCellAreaModel(include_checkers=True)
+        model_without = StdCellAreaModel()
+        org = paper_org("16x2K")
+        with_chk = model_with.overhead_percent(org, 5, m_row=3, m_column=3)
+        without = model_without.overhead_percent(org, 5)
+        assert with_chk > without
+        assert (with_chk - without) / without < 0.05  # "insignificant"
+
+
+class TestGateCounts:
+    def test_decoder_gate_count_matches_tree(self):
+        from repro.decoder.tree import DecoderTree
+
+        for n in (2, 3, 4, 5):
+            assert decoder_gate_count(n) == DecoderTree(n).circuit.num_gates
+
+    def test_checker_gates_match_structural_circuit(self):
+        from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+
+        for m, n in [(1, 2), (2, 4), (3, 5)]:
+            assert (
+                m_out_of_n_checker_gates(m, n)
+                == MOutOfNChecker(m, n).circuit.num_gates
+            )
+
+    def test_parity_checker_gates_match(self):
+        from repro.checkers.parity_checker import ParityChecker
+
+        for width in (2, 4, 5, 9, 17):
+            assert (
+                parity_checker_gates(width)
+                == ParityChecker(width).circuit.num_gates
+            )
+
+    def test_two_rail_tree_gates_match(self):
+        from repro.checkers.two_rail_checker import TwoRailChecker
+
+        for pairs in (1, 2, 3, 5):
+            assert (
+                two_rail_tree_gates(pairs)
+                == TwoRailChecker(pairs).circuit.num_gates
+            )
+
+    def test_circuit_area_positive(self):
+        from repro.checkers.parity_checker import ParityChecker
+
+        assert circuit_area_cells(ParityChecker(8).circuit) > 0
+
+    def test_all_gate_types_weighted(self):
+        from repro.circuits.gates import GateType
+
+        for gate_type in GateType:
+            assert gate_type.value in GATE_AREA_CELLS

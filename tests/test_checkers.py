@@ -1,0 +1,147 @@
+import itertools
+
+import pytest
+
+from repro.checkers.base import indication_valid
+from repro.checkers.berger_checker import BergerChecker
+from repro.checkers.m_out_of_n_checker import (
+    MOutOfNChecker,
+    build_sorting_network,
+)
+from repro.checkers.parity_checker import ParityChecker
+from repro.checkers.two_rail_checker import TwoRailChecker, two_rail_cell
+from repro.codes.berger import BergerCode
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.parity import ParityCode
+from repro.codes.two_rail import TwoRailCode
+
+
+class TestIndicationConvention:
+    def test_valid_pairs(self):
+        assert indication_valid((0, 1))
+        assert indication_valid((1, 0))
+
+    def test_invalid_pairs(self):
+        assert not indication_valid((0, 0))
+        assert not indication_valid((1, 1))
+
+    def test_wrong_width(self):
+        with pytest.raises(ValueError):
+            indication_valid((1, 0, 1))
+
+
+class TestParityChecker:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 8, 17])
+    def test_accepts_exactly_even_words(self, width):
+        checker = ParityChecker(width)
+        code = ParityCode(width - 1)
+        for word in itertools.product((0, 1), repeat=width):
+            assert checker.accepts(word) == code.is_codeword(word)
+
+    def test_odd_variant(self):
+        checker = ParityChecker(4, even=False)
+        assert checker.accepts((1, 0, 0, 0))
+        assert not checker.accepts((1, 1, 0, 0))
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ParityChecker(1)
+        with pytest.raises(ValueError):
+            ParityChecker(4).indication((1, 0))
+
+
+class TestTwoRailChecker:
+    @pytest.mark.parametrize("pairs", [1, 2, 3, 4])
+    def test_accepts_exactly_two_rail_words(self, pairs):
+        checker = TwoRailChecker(pairs)
+        code = TwoRailCode(pairs)
+        for word in itertools.product((0, 1), repeat=2 * pairs):
+            assert checker.accepts(word) == code.is_codeword(word)
+
+    def test_cell_truth_table(self):
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit()
+        nets = c.add_inputs(["a1", "b1", "a2", "b2"])
+        f, g = two_rail_cell(c, (nets[0], nets[1]), (nets[2], nets[3]))
+        c.mark_output(f)
+        c.mark_output(g)
+        # valid inputs -> complementary outputs encoding XOR/XNOR
+        assert c.evaluate((0, 1, 0, 1)) == (1, 0)
+        assert c.evaluate((0, 1, 1, 0)) == (0, 1)
+        assert c.evaluate((1, 0, 1, 0)) == (1, 0)
+        # non-code input -> non-complementary output for some pattern
+        assert c.evaluate((1, 1, 1, 0)) == (1, 1)
+
+    def test_pairs_validation(self):
+        with pytest.raises(ValueError):
+            TwoRailChecker(0)
+
+
+class TestMOutOfNChecker:
+    @pytest.mark.parametrize("m,n", [(1, 2), (2, 3), (2, 4), (3, 5)])
+    def test_structural_accepts_exactly_codewords(self, m, n):
+        checker = MOutOfNChecker(m, n, structural=True)
+        code = MOutOfNCode(m, n)
+        for word in itertools.product((0, 1), repeat=n):
+            assert checker.accepts(word) == code.is_codeword(word), word
+
+    @pytest.mark.parametrize("m,n", [(1, 2), (3, 5), (4, 7)])
+    def test_behavioural_matches_structural(self, m, n):
+        structural = MOutOfNChecker(m, n, structural=True)
+        behavioural = MOutOfNChecker(m, n, structural=False)
+        for word in itertools.product((0, 1), repeat=n):
+            assert structural.accepts(word) == behavioural.accepts(word)
+
+    def test_indication_encodes_direction(self):
+        checker = MOutOfNChecker(2, 4, structural=False)
+        assert checker.indication((0, 0, 0, 0)) == (0, 0)  # under weight
+        assert checker.indication((1, 1, 1, 1)) == (1, 1)  # over weight
+        assert indication_valid(checker.indication((1, 1, 0, 0)))
+
+    def test_all_ones_rejected(self):
+        # the stuck-at-0 signature must always be flagged
+        for m, n in [(1, 2), (2, 3), (3, 5), (4, 7)]:
+            assert not MOutOfNChecker(m, n, structural=False).accepts(
+                (1,) * n
+            )
+
+    def test_gate_count_positive_and_quadratic_bound(self):
+        count = MOutOfNChecker(3, 5).gate_count()
+        assert 0 < count <= 2 * 5 * 5
+
+    def test_sorting_network_sorts(self):
+        from repro.circuits.netlist import Circuit
+
+        for width in (2, 3, 5, 6):
+            c = Circuit()
+            nets = c.add_inputs([f"x{i}" for i in range(width)])
+            sorted_nets = build_sorting_network(c, nets)
+            for net in sorted_nets:
+                c.mark_output(net)
+            for word in itertools.product((0, 1), repeat=width):
+                out = c.evaluate(word)
+                assert list(out) == sorted(word, reverse=True)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MOutOfNChecker(0, 4)
+        with pytest.raises(ValueError):
+            MOutOfNChecker(4, 4)
+        with pytest.raises(ValueError):
+            MOutOfNChecker(2, 4).indication((1, 0, 1))
+
+
+class TestBergerChecker:
+    def test_accepts_exactly_codewords(self):
+        checker = BergerChecker(3)
+        code = BergerCode(3)
+        for word in itertools.product((0, 1), repeat=code.length):
+            assert checker.accepts(word) == code.is_codeword(word)
+
+    def test_gate_count_estimate_positive(self):
+        assert BergerChecker(4).gate_count_estimate() > 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            BergerChecker(3).indication((1, 0))

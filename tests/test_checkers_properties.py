@@ -1,0 +1,133 @@
+"""Exhaustive TSC-property verification of the gate-level checkers."""
+
+import pytest
+
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.checkers.parity_checker import ParityChecker
+from repro.checkers.properties import (
+    is_code_disjoint,
+    is_fault_secure,
+    is_self_testing,
+    undetected_checker_faults,
+)
+from repro.checkers.two_rail_checker import TwoRailChecker
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.parity import ParityCode
+from repro.codes.two_rail import TwoRailCode
+
+
+class TestCodeDisjointness:
+    @pytest.mark.parametrize("pairs", [1, 2, 3])
+    def test_two_rail_checker(self, pairs):
+        checker = TwoRailChecker(pairs)
+        assert is_code_disjoint(checker.circuit, TwoRailCode(pairs))
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 6])
+    def test_parity_checker(self, width):
+        checker = ParityChecker(width)
+        assert is_code_disjoint(checker.circuit, ParityCode(width - 1))
+
+    @pytest.mark.parametrize("m,n", [(1, 2), (2, 3), (2, 4), (3, 5), (3, 6)])
+    def test_m_out_of_n_checker(self, m, n):
+        checker = MOutOfNChecker(m, n, structural=True)
+        assert is_code_disjoint(checker.circuit, MOutOfNCode(m, n))
+
+    def test_report_mode_lists_counterexamples(self):
+        # A deliberately broken "checker": constant valid indication.
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit()
+        c.add_inputs(["x0", "x1"])
+        one = c.add_gate(GateType.CONST1, ())
+        zero = c.add_gate(GateType.CONST0, ())
+        c.mark_output(one)
+        c.mark_output(zero)
+        ok, bad = is_code_disjoint(c, MOutOfNCode(1, 2), report=True)
+        assert not ok
+        # non-code words (00, 11) wrongly accepted
+        assert len(bad) == 2
+
+
+class TestSelfTesting:
+    def test_two_rail_tree_is_self_testing(self):
+        checker = TwoRailChecker(2)
+        words = list(TwoRailCode(2).words())
+        missed = undetected_checker_faults(checker.circuit, words)
+        assert missed == []
+
+    def test_two_rail_tree_three_pairs_self_testing(self):
+        checker = TwoRailChecker(3)
+        assert is_self_testing(
+            checker.circuit, list(TwoRailCode(3).words())
+        )
+
+    def test_parity_checker_self_testing(self):
+        checker = ParityChecker(4)
+        assert is_self_testing(
+            checker.circuit, list(ParityCode(3).words())
+        )
+
+    def test_restricted_inputs_break_self_testing(self):
+        # Exercising only one code word cannot test both polarities.
+        checker = TwoRailChecker(2)
+        single = [tuple(TwoRailCode(2).encode((0, 0)))]
+        assert not is_self_testing(checker.circuit, single)
+
+
+class TestFaultSecure:
+    def test_inverter_pair_generator_is_fault_secure(self):
+        # A two-rail "functional block": duplicated rail generator.
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit()
+        a = c.add_input("a")
+        inv = c.add_gate(GateType.NOT, (a,))
+        c.mark_output(a)
+        c.mark_output(inv)
+        code = TwoRailCode(1)
+        # Internal faults only: an input-stem fault moves *both* rails to
+        # a consistent (wrong) code word and is out of the fault model.
+        from repro.circuits.faults import enumerate_stuck_at_faults
+
+        faults = enumerate_stuck_at_faults(c, include_inputs=False)
+        assert is_fault_secure(
+            c,
+            code.is_codeword,
+            input_vectors=[(0,), (1,)],
+            faults=faults,
+        )
+
+    def test_input_stem_fault_breaks_fault_secureness(self):
+        # ...and the exhaustive checker exposes exactly that.
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit()
+        a = c.add_input("a")
+        inv = c.add_gate(GateType.NOT, (a,))
+        c.mark_output(a)
+        c.mark_output(inv)
+        assert not is_fault_secure(
+            c, TwoRailCode(1).is_codeword, input_vectors=[(0,), (1,)]
+        )
+
+    def test_single_output_duplication_violation_detected(self):
+        # A block that drives both rails from ONE gate is not fault
+        # secure: a fault flips both rails together into a code word.
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit()
+        a = c.add_input("a")
+        buf = c.add_gate(GateType.BUF, (a,))
+        inv = c.add_gate(GateType.NOT, (buf,))
+        c.mark_output(buf)
+        c.mark_output(inv)
+        # fault on `buf` output changes both outputs -> (b, ~b) stays a
+        # code word while being wrong.
+        code = TwoRailCode(1)
+        assert not is_fault_secure(
+            c, code.is_codeword, input_vectors=[(0,), (1,)]
+        )

@@ -1,0 +1,72 @@
+import itertools
+
+import pytest
+
+from repro.circuits.builders import (
+    and_tree,
+    literal_pair,
+    or_tree,
+    reduce_tree,
+    xor_tree,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+def check_tree(builder, python_op, width):
+    c = Circuit()
+    nets = c.add_inputs([f"x{i}" for i in range(width)])
+    root = builder(c, nets)
+    c.mark_output(root)
+    for bits in itertools.product((0, 1), repeat=width):
+        expected = bits[0]
+        for b in bits[1:]:
+            expected = python_op(expected, b)
+        assert c.evaluate(bits) == (expected,), bits
+
+
+class TestReduceTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 7, 8])
+    def test_and_tree(self, width):
+        check_tree(and_tree, lambda a, b: a & b, width)
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_or_tree(self, width):
+        check_tree(or_tree, lambda a, b: a | b, width)
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_xor_tree(self, width):
+        check_tree(xor_tree, lambda a, b: a ^ b, width)
+
+    def test_single_input_passthrough_adds_no_gate(self):
+        c = Circuit()
+        (net,) = c.add_inputs(["x"])
+        assert and_tree(c, [net]) == net
+        assert c.num_gates == 0
+
+    def test_gate_count_is_width_minus_one(self):
+        c = Circuit()
+        nets = c.add_inputs([f"x{i}" for i in range(9)])
+        xor_tree(c, nets)
+        assert c.num_gates == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            and_tree(Circuit(), [])
+
+    def test_non_associative_gate_rejected(self):
+        c = Circuit()
+        nets = c.add_inputs(["a", "b"])
+        with pytest.raises(ValueError):
+            reduce_tree(c, GateType.NOR, nets)
+
+
+class TestLiteralPair:
+    def test_complement(self):
+        c = Circuit()
+        a = c.add_input("a")
+        direct, comp = literal_pair(c, a)
+        c.mark_output(direct)
+        c.mark_output(comp)
+        assert c.evaluate((0,)) == (0, 1)
+        assert c.evaluate((1,)) == (1, 0)

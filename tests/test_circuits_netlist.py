@@ -1,0 +1,139 @@
+import pytest
+
+from repro.circuits.faults import NetStuckAt, PinStuckAt
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.netlist import Circuit
+
+
+def build_half_adder():
+    c = Circuit("half_adder")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    s = c.add_gate(GateType.XOR, (a, b), name="sum")
+    carry = c.add_gate(GateType.AND, (a, b), name="carry")
+    c.mark_output(s, "s")
+    c.mark_output(carry, "c")
+    return c
+
+
+class TestGatePrimitives:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            (GateType.AND, (1, 1), 1),
+            (GateType.AND, (1, 0), 0),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NOR, (0, 0, 0), 1),
+            (GateType.NOR, (0, 1, 0), 0),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.XOR, (1, 1, 1), 1),
+            (GateType.XNOR, (1, 0), 0),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (0,), 0),
+            (GateType.CONST1, (), 1),
+            (GateType.CONST0, (), 0),
+        ],
+    )
+    def test_truth_tables(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) == expected
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, (1, 0))
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, (1,))
+
+
+class TestCircuitConstruction:
+    def test_half_adder_truth_table(self):
+        c = build_half_adder()
+        assert c.evaluate((0, 0)) == (0, 0)
+        assert c.evaluate((0, 1)) == (1, 0)
+        assert c.evaluate((1, 0)) == (1, 0)
+        assert c.evaluate((1, 1)) == (0, 1)
+
+    def test_evaluate_named(self):
+        c = build_half_adder()
+        assert c.evaluate_named((1, 1)) == {"s": 0, "c": 1}
+
+    def test_reading_undeclared_net_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate(GateType.NOT, (a + 5,))
+
+    def test_mark_undeclared_output_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().mark_output(0)
+
+    def test_wrong_input_count_rejected(self):
+        c = build_half_adder()
+        with pytest.raises(ValueError):
+            c.evaluate((1,))
+
+    def test_nonbinary_input_rejected(self):
+        c = build_half_adder()
+        with pytest.raises(ValueError):
+            c.evaluate((1, 2))
+
+    def test_stats(self):
+        stats = build_half_adder().stats()
+        assert stats["gates"] == 2
+        assert stats["xor"] == 1
+        assert stats["and"] == 1
+        assert stats["inputs"] == 2
+        assert stats["outputs"] == 2
+
+    def test_driver_and_fanout(self):
+        c = Circuit()
+        a = c.add_input("a")
+        x = c.add_gate(GateType.NOT, (a,))
+        y = c.add_gate(GateType.AND, (a, x))
+        assert c.driver_of(a) is None
+        assert c.driver_of(x).gate_type is GateType.NOT
+        fanout = c.fanout_of(a)
+        assert (0, 0) in fanout and (1, 0) in fanout
+        assert c.fanout_of(y) == []
+
+
+class TestFaultInjection:
+    def test_net_stuck_at_gate_output(self):
+        c = build_half_adder()
+        sum_net = c.gates[0].output
+        assert c.evaluate((0, 0), faults=(NetStuckAt(sum_net, 1),)) == (1, 0)
+        assert c.evaluate((1, 0), faults=(NetStuckAt(sum_net, 0),)) == (0, 0)
+
+    def test_net_stuck_at_primary_input_affects_all_readers(self):
+        c = build_half_adder()
+        a_net = c.input_nets[0]
+        # a stuck at 1: s = ~b? no: s = 1 xor b, c = b
+        assert c.evaluate((0, 0), faults=(NetStuckAt(a_net, 1),)) == (1, 0)
+        assert c.evaluate((0, 1), faults=(NetStuckAt(a_net, 1),)) == (0, 1)
+
+    def test_pin_stuck_at_affects_single_reader(self):
+        c = build_half_adder()
+        # pin 0 of gate 1 (the AND) stuck at 1: only carry changes.
+        fault = PinStuckAt(1, 0, 1)
+        assert c.evaluate((0, 1), faults=(fault,)) == (1, 1)
+        # the XOR still sees the true a=0
+        assert c.evaluate((0, 0), faults=(fault,)) == (0, 0)
+
+    def test_multiple_faults_compose(self):
+        c = build_half_adder()
+        faults = (
+            NetStuckAt(c.gates[0].output, 0),
+            NetStuckAt(c.gates[1].output, 1),
+        )
+        assert c.evaluate((1, 0), faults=faults) == (0, 1)
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(ValueError):
+            NetStuckAt(0, 2)
+        with pytest.raises(ValueError):
+            PinStuckAt(0, 0, -1)
+
+    def test_fault_identity(self):
+        assert NetStuckAt(3, 1) == NetStuckAt(3, 1)
+        assert NetStuckAt(3, 1) != NetStuckAt(3, 0)
+        assert len({NetStuckAt(3, 1), NetStuckAt(3, 1)}) == 1

@@ -1,0 +1,128 @@
+"""Lane-exact equivalence of the packed evaluator with the serial one."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits.faults import NetStuckAt, PinStuckAt
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+from repro.circuits.parallel import (
+    evaluate_packed,
+    pack_stimuli,
+    packed_rom_words,
+    unpack_outputs,
+)
+
+
+def build_mixed_circuit():
+    c = Circuit("mixed")
+    a, b, d = c.add_inputs(["a", "b", "d"])
+    n1 = c.add_gate(GateType.AND, (a, b))
+    n2 = c.add_gate(GateType.NOR, (b, d, n1))
+    n3 = c.add_gate(GateType.XOR, (a, n2))
+    n4 = c.add_gate(GateType.NAND, (n1, n3))
+    n5 = c.add_gate(GateType.NOT, (n4,))
+    n6 = c.add_gate(GateType.XNOR, (n5, d))
+    n7 = c.add_gate(GateType.OR, (n6, n2))
+    n8 = c.add_gate(GateType.BUF, (n7,))
+    one = c.add_gate(GateType.CONST1, ())
+    n9 = c.add_gate(GateType.AND, (n8, one))
+    c.mark_output(n3)
+    c.mark_output(n9)
+    return c
+
+
+class TestPacking:
+    def test_pack_round_trip(self):
+        stimuli = [(1, 0), (0, 0), (1, 1), (0, 1)]
+        packed, lanes = pack_stimuli(stimuli)
+        assert lanes == 4
+        assert unpack_outputs(packed, lanes) == [tuple(s) for s in stimuli]
+
+    def test_pack_validation(self):
+        with pytest.raises(ValueError):
+            pack_stimuli([])
+        with pytest.raises(ValueError):
+            pack_stimuli([(1, 0), (1,)])
+        with pytest.raises(ValueError):
+            pack_stimuli([(2, 0)])
+
+
+class TestEquivalence:
+    def test_fault_free_all_lanes(self):
+        c = build_mixed_circuit()
+        stimuli = list(itertools.product((0, 1), repeat=3))
+        packed, lanes = pack_stimuli(stimuli)
+        outs = unpack_outputs(evaluate_packed(c, packed, lanes), lanes)
+        for stimulus, out in zip(stimuli, outs):
+            assert out == c.evaluate(stimulus)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_random_faults(self, seed):
+        rng = random.Random(seed)
+        c = build_mixed_circuit()
+        stimuli = list(itertools.product((0, 1), repeat=3))
+        packed, lanes = pack_stimuli(stimuli)
+        for _ in range(10):
+            if rng.random() < 0.5:
+                gate = rng.choice(c.gates)
+                fault = NetStuckAt(gate.output, rng.randint(0, 1))
+            else:
+                gate = rng.choice([g for g in c.gates if g.inputs])
+                fault = PinStuckAt(
+                    gate.index,
+                    rng.randrange(len(gate.inputs)),
+                    rng.randint(0, 1),
+                )
+            outs = unpack_outputs(
+                evaluate_packed(c, packed, lanes, faults=(fault,)), lanes
+            )
+            for stimulus, out in zip(stimuli, outs):
+                assert out == c.evaluate(stimulus, faults=(fault,)), fault
+
+    def test_input_stuck_at(self):
+        c = build_mixed_circuit()
+        stimuli = [(0, 0, 0), (1, 1, 1)]
+        packed, lanes = pack_stimuli(stimuli)
+        fault = NetStuckAt(c.input_nets[0], 1)
+        outs = unpack_outputs(
+            evaluate_packed(c, packed, lanes, faults=(fault,)), lanes
+        )
+        for stimulus, out in zip(stimuli, outs):
+            assert out == c.evaluate(stimulus, faults=(fault,))
+
+    def test_validation(self):
+        c = build_mixed_circuit()
+        with pytest.raises(ValueError):
+            evaluate_packed(c, [0, 0], 1)
+        with pytest.raises(ValueError):
+            evaluate_packed(c, [2, 0, 0], 1)  # exceeds 1-lane mask
+
+
+class TestPackedRomWords:
+    def test_matches_serial_checked_decoder(self):
+        from repro.codes.m_out_of_n import MOutOfNCode
+        from repro.core.mapping import mapping_for_code
+        from repro.rom.nor_matrix import CheckedDecoder
+
+        checked = CheckedDecoder(mapping_for_code(MOutOfNCode(3, 5), 5))
+        addresses = [3, 17, 0, 31, 8, 8, 25]
+        fault = NetStuckAt(checked.tree.root.output_nets[6], 1)
+        packed_words = packed_rom_words(checked, addresses, faults=(fault,))
+        for address, word in zip(addresses, packed_words):
+            assert word == checked.rom_word(address, faults=(fault,))
+
+    def test_whole_stream_in_one_pass(self):
+        from repro.codes.m_out_of_n import MOutOfNCode
+        from repro.core.mapping import mapping_for_code
+        from repro.rom.nor_matrix import CheckedDecoder
+
+        checked = CheckedDecoder(mapping_for_code(MOutOfNCode(2, 4), 4))
+        addresses = list(range(16)) * 4
+        words = packed_rom_words(checked, addresses)
+        assert len(words) == 64
+        assert all(
+            w == checked.expected_word(a) for a, w in zip(addresses, words)
+        )

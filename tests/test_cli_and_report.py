@@ -1,0 +1,79 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_select_args(self):
+        parser = build_parser()
+        args = parser.parse_args(["select", "-c", "10", "-p", "1e-9"])
+        assert args.cycles == 10
+        assert args.pndc == 1e-9
+
+    def test_report_args(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["report", "--words", "2048", "--bits", "16", "-c", "10",
+             "-p", "1e-9"]
+        )
+        assert args.words == 2048
+        assert args.mux == 8
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_select(self, capsys):
+        assert main(["select", "-c", "10", "-p", "1e-9"]) == 0
+        out = capsys.readouterr().out
+        assert "3-out-of-5" in out
+
+    def test_select_approximate_policy(self, capsys):
+        assert main(
+            ["select", "-c", "10", "-p", "1e-20",
+             "--policy", "approximate"]
+        ) == 0
+        assert "5-out-of-9" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        code = main(
+            ["report", "--words", "1024", "--bits", "16", "-c", "10",
+             "-p", "1e-9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design report" in out
+        assert "16x1K" in out
+
+    def test_report_shared_column(self, capsys):
+        main(
+            ["report", "--words", "1024", "--bits", "16", "-c", "10",
+             "-p", "1e-9", "--shared-column-code"]
+        )
+        assert "mapping 'mod'" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "9-out-of-18" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "7-out-of-13" in capsys.readouterr().out
+
+    def test_safety(self, capsys):
+        assert main(["safety"]) == 0
+        assert "orders of magnitude" in capsys.readouterr().out
+
+    def test_area_example(self, capsys):
+        assert main(["area-example"]) == 0
+        assert "6.25" in capsys.readouterr().out
+
+    def test_structure(self, capsys):
+        assert main(["structure"]) == 0
+        assert "structural checks passed" in capsys.readouterr().out
+
+    def test_ecc_baseline(self, capsys):
+        assert main(["ecc-baseline"]) == 0
+        assert "SEC-DED" in capsys.readouterr().out

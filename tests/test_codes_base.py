@@ -1,0 +1,61 @@
+import pytest
+
+from repro.codes.base import Code, validate_bits
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.parity import ParityCode
+
+
+class TestValidateBits:
+    def test_normalises_to_tuple(self):
+        assert validate_bits([1, 0, 1]) == (1, 0, 1)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            validate_bits((0, 1, 2))
+        with pytest.raises(ValueError):
+            validate_bits("101")  # strings are not bit vectors
+
+
+class TestCodeHelpers:
+    def test_noncode_words_partition_the_space(self):
+        code = MOutOfNCode(2, 4)
+        members = set(code.words())
+        non_members = set(code.noncode_words())
+        assert members & non_members == set()
+        assert len(members) + len(non_members) == 16
+
+    def test_assert_contains(self):
+        code = MOutOfNCode(2, 4)
+        code.assert_contains((1, 1, 0, 0))
+        with pytest.raises(ValueError):
+            code.assert_contains((1, 1, 1, 0))
+
+    def test_default_cardinality_counts_words(self):
+        class TwoWords(Code):
+            length = 3
+
+            def is_codeword(self, word):
+                return tuple(word) in {(1, 0, 0), (0, 1, 0)}
+
+            def words(self):
+                yield (1, 0, 0)
+                yield (0, 1, 0)
+
+        assert TwoWords().cardinality() == 2
+
+    def test_minimum_distance_requires_two_words(self):
+        class OneWord(Code):
+            length = 2
+
+            def is_codeword(self, word):
+                return tuple(word) == (1, 0)
+
+            def words(self):
+                yield (1, 0)
+
+        with pytest.raises(ValueError):
+            OneWord().minimum_distance()
+
+    def test_is_unordered_on_parity_code_is_false(self):
+        # parity codes contain 0000 which everything covers
+        assert not ParityCode(3).is_unordered()

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.codes.berger import BergerCode, berger_check_width
+from repro.codes.unordered import is_unordered_code
+from repro.utils.bitops import all_bit_vectors, bits_to_int
+
+
+class TestCheckWidth:
+    def test_known_widths(self):
+        assert berger_check_width(1) == 1
+        assert berger_check_width(3) == 2
+        assert berger_check_width(4) == 3
+        assert berger_check_width(7) == 3
+        assert berger_check_width(8) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            berger_check_width(0)
+
+
+class TestEncoding:
+    def test_check_counts_zeros(self):
+        code = BergerCode(4)
+        word = code.encode((0, 0, 0, 0))
+        assert bits_to_int(word[4:]) == 4
+        word = code.encode((1, 1, 1, 1))
+        assert bits_to_int(word[4:]) == 0
+
+    def test_every_encoding_is_codeword(self):
+        code = BergerCode(3)
+        for info in all_bit_vectors(3):
+            assert code.is_codeword(code.encode(info))
+
+    def test_cardinality(self):
+        assert BergerCode(4).cardinality() == 16
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            BergerCode(3).encode((1, 0))
+
+
+class TestUnorderedness:
+    @pytest.mark.parametrize("info_bits", [1, 2, 3, 4, 5])
+    def test_berger_codes_are_unordered(self, info_bits):
+        # The property §III relies on for the [NIC 94] variant.
+        assert BergerCode(info_bits).is_unordered()
+
+    def test_unidirectional_error_detected(self):
+        # All-0->1 (or all-1->0) multi-bit errors leave the code.
+        code = BergerCode(4)
+        for info in all_bit_vectors(4):
+            word = list(code.encode(info))
+            zero_positions = [i for i, b in enumerate(word) if b == 0]
+            if not zero_positions:
+                continue
+            for position in zero_positions:
+                word[position] = 1  # cumulative 0 -> 1 flips
+                assert not code.is_codeword(word)
+
+
+class TestMembership:
+    def test_corrupted_check_rejected(self):
+        code = BergerCode(3)
+        word = list(code.encode((0, 1, 0)))
+        word[-1] ^= 1
+        assert not code.is_codeword(word)
+
+    def test_wrong_length_rejected(self):
+        assert not BergerCode(3).is_codeword((0, 1, 0))

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.codes.hamming import HammingCode, hamming_check_bits
+from repro.utils.bitops import all_bit_vectors
+
+
+class TestCheckBits:
+    def test_known_values(self):
+        assert hamming_check_bits(1) == 2
+        assert hamming_check_bits(4) == 3
+        assert hamming_check_bits(11) == 4
+        assert hamming_check_bits(16) == 5
+        assert hamming_check_bits(64) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hamming_check_bits(0)
+
+
+class TestSEC:
+    def test_every_encoding_is_codeword(self):
+        code = HammingCode(4)
+        for data in all_bit_vectors(4):
+            assert code.is_codeword(code.encode(data))
+
+    def test_corrects_every_single_bit_error(self):
+        code = HammingCode(4)
+        for data in all_bit_vectors(4):
+            word = code.encode(data)
+            for position in range(code.length):
+                corrupted = list(word)
+                corrupted[position] ^= 1
+                result = code.decode(corrupted)
+                assert result.corrected
+                assert result.data == data
+
+    def test_clean_decode(self):
+        code = HammingCode(8)
+        word = code.encode((1, 0, 1, 1, 0, 0, 1, 0))
+        result = code.decode(word)
+        assert not result.corrected
+        assert result.data == (1, 0, 1, 1, 0, 0, 1, 0)
+
+    def test_minimum_distance_three(self):
+        assert HammingCode(4).minimum_distance() == 3
+
+
+class TestSECDED:
+    def test_detects_every_double_error(self):
+        code = HammingCode(4, extended=True)
+        data = (1, 0, 1, 0)
+        word = code.encode(data)
+        for i in range(code.length):
+            for j in range(i + 1, code.length):
+                corrupted = list(word)
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                result = code.decode(corrupted)
+                assert result.detected_uncorrectable, (i, j)
+
+    def test_still_corrects_single_errors(self):
+        code = HammingCode(4, extended=True)
+        for data in all_bit_vectors(4):
+            word = code.encode(data)
+            for position in range(code.length):
+                corrupted = list(word)
+                corrupted[position] ^= 1
+                result = code.decode(corrupted)
+                assert result.corrected and result.data == data
+
+    def test_minimum_distance_four(self):
+        assert HammingCode(4, extended=True).minimum_distance() == 4
+
+    def test_check_overhead_vs_parity(self):
+        # The baseline comparison: SEC-DED needs ~log2(m)+2 check bits
+        # where the paper's scheme needs a single parity bit.
+        assert HammingCode(16, extended=True).check_bits == 6
+        assert HammingCode(64, extended=True).check_bits == 8
+
+
+class TestValidation:
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            HammingCode(4).decode((0, 0, 0))
+
+    def test_encode_wrong_length(self):
+        with pytest.raises(ValueError):
+            HammingCode(4).encode((0, 0, 0))
+
+    def test_cardinality(self):
+        assert HammingCode(4).cardinality() == 16

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.codes.parity import ParityCode
+from repro.utils.bitops import all_bit_vectors
+
+
+class TestEncoding:
+    def test_even_parity_examples(self):
+        code = ParityCode(3)
+        assert code.encode((0, 0, 0)) == (0, 0, 0, 0)
+        assert code.encode((1, 0, 0)) == (1, 0, 0, 1)
+        assert code.encode((1, 1, 0)) == (1, 1, 0, 0)
+
+    def test_odd_parity_examples(self):
+        code = ParityCode(3, even=False)
+        assert code.encode((0, 0, 0)) == (0, 0, 0, 1)
+        assert code.encode((1, 1, 1)) == (1, 1, 1, 0)
+
+    def test_every_encoding_is_codeword(self):
+        for even in (True, False):
+            code = ParityCode(4, even=even)
+            for data in all_bit_vectors(4):
+                assert code.is_codeword(code.encode(data))
+
+    def test_wrong_data_width_rejected(self):
+        with pytest.raises(ValueError):
+            ParityCode(3).encode((1, 0))
+
+    def test_zero_data_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ParityCode(0)
+
+
+class TestCodeSpace:
+    def test_cardinality(self):
+        assert ParityCode(5).cardinality() == 32
+        assert len(list(ParityCode(5).words())) == 32
+
+    def test_exactly_half_the_space_is_code(self):
+        code = ParityCode(4)
+        members = [v for v in all_bit_vectors(5) if code.is_codeword(v)]
+        assert len(members) == 16
+
+    def test_wrong_length_never_codeword(self):
+        assert not ParityCode(4).is_codeword((0, 0, 0, 0))
+
+    def test_minimum_distance_is_two(self):
+        assert ParityCode(3).minimum_distance() == 2
+
+
+class TestDetection:
+    def test_single_bit_flip_always_detected(self):
+        code = ParityCode(4)
+        for data in all_bit_vectors(4):
+            word = list(code.encode(data))
+            for position in range(5):
+                word[position] ^= 1
+                assert not code.is_codeword(word)
+                word[position] ^= 1
+
+    def test_detects_odd_error_patterns_only(self):
+        code = ParityCode(6)
+        assert code.detects([2])
+        assert code.detects([0, 3, 5])
+        assert not code.detects([1, 4])
+        assert not code.detects([])
+
+    def test_detects_position_validation(self):
+        with pytest.raises(ValueError):
+            ParityCode(3).detects([7])
+
+    def test_double_flip_escapes(self):
+        # The §II premise: parity covers single faults only.
+        code = ParityCode(4)
+        word = list(code.encode((1, 0, 1, 0)))
+        word[0] ^= 1
+        word[2] ^= 1
+        assert code.is_codeword(word)

@@ -1,0 +1,40 @@
+import pytest
+
+from repro.codes.two_rail import TwoRailCode
+
+
+class TestEncoding:
+    def test_pairwise_layout(self):
+        assert TwoRailCode(2).encode((1, 0)) == (1, 0, 0, 1)
+        assert TwoRailCode(1).encode((0,)) == (0, 1)
+
+    def test_wrong_rail_count(self):
+        with pytest.raises(ValueError):
+            TwoRailCode(2).encode((1,))
+
+
+class TestMembership:
+    def test_valid_words(self):
+        code = TwoRailCode(2)
+        assert code.is_codeword((0, 1, 1, 0))
+        assert code.is_codeword((1, 0, 1, 0))
+
+    def test_invalid_words(self):
+        code = TwoRailCode(2)
+        assert not code.is_codeword((0, 0, 1, 0))
+        assert not code.is_codeword((1, 1, 1, 1))
+
+    def test_wrong_length(self):
+        assert not TwoRailCode(2).is_codeword((0, 1))
+
+    def test_cardinality(self):
+        assert TwoRailCode(3).cardinality() == 8
+        assert len(list(TwoRailCode(3).words())) == 8
+
+    def test_is_unordered(self):
+        # Two-rail codes are unordered (each word has weight = pairs).
+        assert TwoRailCode(2).is_unordered()
+
+    def test_invalid_pairs(self):
+        with pytest.raises(ValueError):
+            TwoRailCode(0)

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.codes.unordered import (
+    and_of_distinct_words_is_noncode,
+    bitwise_and,
+    covers,
+    is_unordered_code,
+    violating_pairs,
+)
+
+
+class TestCovers:
+    def test_basic(self):
+        assert covers((1, 1, 0), (1, 0, 0))
+        assert covers((1, 1, 0), (1, 1, 0))  # reflexive
+        assert not covers((1, 0, 0), (1, 1, 0))
+        assert not covers((1, 0, 0), (0, 1, 0))
+
+    def test_all_ones_covers_everything(self):
+        for v in [(0, 0, 0), (1, 0, 1), (1, 1, 1)]:
+            assert covers((1, 1, 1), v)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            covers((1, 0), (1, 0, 0))
+
+
+class TestBitwiseAnd:
+    def test_and(self):
+        assert bitwise_and((1, 1, 0), (1, 0, 1)) == (1, 0, 0)
+
+    def test_and_covered_by_both(self):
+        u, v = (1, 1, 0, 1), (0, 1, 1, 1)
+        w = bitwise_and(u, v)
+        assert covers(u, w) and covers(v, w)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitwise_and((1,), (1, 0))
+
+
+class TestUnorderedPredicate:
+    def test_unordered_set(self):
+        assert is_unordered_code([(1, 1, 0), (0, 1, 1), (1, 0, 1)])
+
+    def test_ordered_set(self):
+        assert not is_unordered_code([(1, 1, 0), (1, 0, 0)])
+
+    def test_single_word_is_unordered(self):
+        assert is_unordered_code([(1, 0, 1)])
+
+    def test_violating_pairs_reports_both_directions(self):
+        pairs = violating_pairs([(1, 1, 0), (1, 0, 0), (0, 0, 0)])
+        # (110 covers 100), (110 covers 000), (100 covers 000)
+        assert len(pairs) == 3
+        assert ((1, 1, 0), (1, 0, 0)) in pairs
+
+
+class TestAndClosure:
+    def test_unordered_implies_and_is_noncode(self):
+        words = [(1, 1, 0, 0), (0, 1, 1, 0), (0, 0, 1, 1), (1, 0, 0, 1)]
+        assert is_unordered_code(words)
+        assert and_of_distinct_words_is_noncode(words)
+
+    def test_systematic_code_fails_and_closure(self):
+        # Ordered (systematic identity-ish) code: AND of two words can be
+        # another word -> silent stuck-at-1 escapes (ablation X5).
+        words = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert not and_of_distinct_words_is_noncode(words)
+
+    def test_the_paper_lemma_for_every_small_constant_weight_code(self):
+        from repro.codes.m_out_of_n import MOutOfNCode
+
+        for n in range(2, 8):
+            for m in range(1, n):
+                assert and_of_distinct_words_is_noncode(
+                    MOutOfNCode(m, n).words()
+                ), f"{m}-out-of-{n}"

@@ -1,0 +1,137 @@
+import pytest
+
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.unordered import is_unordered_code
+from repro.core.mapping import (
+    IdentityMapping,
+    ModAMapping,
+    ParityMapping,
+    TruncatedBergerMapping,
+    mapping_for_code,
+)
+from repro.utils.bitops import parity_of
+
+
+class TestModAMapping:
+    def test_default_a_odd_rule(self):
+        # C(5,3)=10 even -> a=9; C(3,2)=3 odd -> a=3.
+        assert ModAMapping(MOutOfNCode(3, 5), 4).a == 9
+        assert ModAMapping(MOutOfNCode(2, 3), 4).a == 3
+
+    def test_even_a_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            ModAMapping(MOutOfNCode(3, 5), 4, a=8)
+
+    def test_even_a_allowed_for_ablation(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 4, a=8, allow_even_a=True)
+        assert mapping.a == 8
+
+    def test_a_range_validation(self):
+        with pytest.raises(ValueError):
+            ModAMapping(MOutOfNCode(3, 5), 4, a=11)
+        with pytest.raises(ValueError):
+            ModAMapping(MOutOfNCode(3, 5), 4, a=0)
+
+    def test_index_is_mod_a(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 5, complete=False)
+        for address in range(32):
+            assert mapping.index(address) == address % 9
+
+    def test_completion_remap(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 4)  # a=9, one unused word
+        assert mapping.index(9) == 9          # remapped to the unused word
+        assert mapping.index(0) == 0
+        assert mapping.index(10) == 1
+        assert mapping.num_words_used == 10
+
+    def test_remap_skipped_when_address_space_too_small(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 3)  # only 8 addresses < 9
+        assert mapping.num_words_used == 9
+
+    def test_all_codewords_emitted_with_completion(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 4)
+        emitted = {mapping.codeword(a) for a in range(16)}
+        assert emitted == set(MOutOfNCode(3, 5).words())
+
+    def test_codewords_are_code_members(self):
+        mapping = ModAMapping(MOutOfNCode(2, 4), 4)
+        for address in range(16):
+            assert MOutOfNCode(2, 4).is_codeword(mapping.codeword(address))
+
+    def test_table_covers_all_addresses(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 4)
+        assert len(mapping.table()) == 16
+
+    def test_address_validation(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 4)
+        with pytest.raises(ValueError):
+            mapping.index(16)
+
+
+class TestParityMapping:
+    def test_index_is_parity(self):
+        mapping = ParityMapping(5)
+        for address in range(32):
+            assert mapping.index(address) == parity_of(address)
+
+    def test_codewords_are_one_out_of_two(self):
+        mapping = ParityMapping(4)
+        words = {mapping.codeword(a) for a in range(16)}
+        assert words == {(1, 0), (0, 1)}
+
+    def test_both_rails_used(self):
+        # the checker is exercised with both code words (self-testing)
+        mapping = ParityMapping(3)
+        indices = {mapping.index(a) for a in range(8)}
+        assert indices == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParityMapping(0)
+
+
+class TestIdentityMapping:
+    def test_distinct_word_per_address(self):
+        code = MOutOfNCode(4, 8)  # 70 >= 16
+        mapping = IdentityMapping(code, 4)
+        words = [mapping.codeword(a) for a in range(16)]
+        assert len(set(words)) == 16
+        assert is_unordered_code(words)
+
+    def test_insufficient_code_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityMapping(MOutOfNCode(3, 5), 4)  # 10 < 16
+
+
+class TestTruncatedBergerMapping:
+    def test_high_bits_ignored(self):
+        mapping = TruncatedBergerMapping(6, k=2)
+        for address in range(64):
+            assert mapping.index(address) == mapping.index(address & 0xF)
+
+    def test_codeword_is_berger_encoding(self):
+        mapping = TruncatedBergerMapping(5, k=2)
+        word = mapping.codeword(0b10101)
+        assert mapping.berger.is_codeword(word)
+
+    def test_rom_width(self):
+        mapping = TruncatedBergerMapping(6, k=2)  # 4 info + 3 check
+        assert mapping.rom_width == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedBergerMapping(4, k=0)
+        with pytest.raises(ValueError):
+            TruncatedBergerMapping(4, k=4)
+
+
+class TestMappingForCode:
+    def test_one_out_of_two_gets_parity(self):
+        assert isinstance(
+            mapping_for_code(MOutOfNCode(1, 2), 4), ParityMapping
+        )
+
+    def test_others_get_mod_a(self):
+        mapping = mapping_for_code(MOutOfNCode(3, 5), 4)
+        assert isinstance(mapping, ModAMapping)
+        assert mapping.a == 9

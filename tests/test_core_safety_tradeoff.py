@@ -1,0 +1,85 @@
+import pytest
+
+from repro.core.safety import (
+    SafetyModel,
+    undetectable_rate_unchecked_decoders,
+    undetectable_rate_with_coverage,
+)
+from repro.core.tradeoff import TradeoffExplorer
+from repro.memory.organization import MemoryOrganization, paper_org
+
+
+class TestSafetyArithmetic:
+    def test_paper_numbers(self):
+        # §II: 1e-5 MTBF, 1e-4 escape -> 1e-9; array-only -> ~1e-6.
+        assert undetectable_rate_with_coverage(1e-5, 1e-4) == pytest.approx(
+            1e-9
+        )
+        array_only = undetectable_rate_unchecked_decoders(1e-5, 0.1, 1e-4)
+        assert array_only == pytest.approx(1.0009e-6, rel=1e-3)
+
+    def test_three_orders_of_magnitude(self):
+        import math
+
+        full = undetectable_rate_with_coverage(1e-5, 1e-4)
+        partial = undetectable_rate_unchecked_decoders(1e-5, 0.1, 1e-4)
+        assert math.log10(partial / full) == pytest.approx(3.0, abs=0.01)
+
+    def test_model_improvement_monotone_in_escape(self):
+        model = SafetyModel(1e-5, decoder_area_fraction=0.1)
+        rates = [model.rate_with_scheme(e) for e in (1e-2, 1e-4, 1e-6)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_zero_escape_infinite_improvement(self):
+        model = SafetyModel(1e-5, 0.1, array_escape_fraction=0.0)
+        assert model.improvement_factor(0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            undetectable_rate_with_coverage(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            undetectable_rate_with_coverage(1e-5, 2.0)
+        with pytest.raises(ValueError):
+            undetectable_rate_unchecked_decoders(1e-5, 1.5, 0.1)
+
+
+class TestTradeoffExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return TradeoffExplorer(paper_org("16x2K"))
+
+    def test_point_matches_selection(self, explorer):
+        pt = explorer.point(10, 1e-9)
+        assert pt.code_name == "3-out-of-5"
+        assert pt.overhead_percent == pytest.approx(24.66, abs=0.05)
+
+    def test_latency_sweep_monotone(self, explorer):
+        points = explorer.sweep_latency((2, 5, 10, 20, 40), 1e-9)
+        overheads = [pt.overhead_percent for pt in points]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_escape_sweep_monotone(self, explorer):
+        points = explorer.sweep_escape(10, (1e-2, 1e-9, 1e-30))
+        overheads = [pt.overhead_percent for pt in points]
+        assert overheads == sorted(overheads)
+
+    def test_pareto_frontier_strictly_improving(self, explorer):
+        frontier = explorer.pareto_frontier((2, 5, 10, 20, 30, 40), 1e-9)
+        cs = [pt.c for pt in frontier]
+        areas = [pt.overhead_percent for pt in frontier]
+        assert cs == sorted(cs)
+        assert areas == sorted(areas, reverse=True)
+        assert len(frontier) >= 3
+
+    def test_budget_query_respects_budget(self, explorer):
+        best = explorer.max_latency_for_budget(25.0, 1e-9)
+        assert best is not None
+        assert best.overhead_percent <= 25.0
+
+    def test_budget_query_tight_budget(self, explorer):
+        # the 1-out-of-2 endpoint costs ~9.9 %; below that, nothing fits
+        assert explorer.max_latency_for_budget(5.0, 1e-9) is None
+
+    def test_rows_serialisable(self, explorer):
+        row = explorer.point(10, 1e-9).as_row()
+        assert row[0] == 10 and row[2] == "3-out-of-5"

@@ -1,0 +1,155 @@
+from fractions import Fraction
+
+import pytest
+
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import (
+    IdentityMapping,
+    ModAMapping,
+    ParityMapping,
+    TruncatedBergerMapping,
+)
+from repro.decoder.analysis import (
+    analyze_decoder,
+    classify_fault_sites,
+    sa1_escape_closed_form,
+    sa1_escape_exhaustive,
+)
+from repro.decoder.tree import DecoderTree
+
+
+@pytest.fixture(scope="module")
+def tree6():
+    return DecoderTree(6)
+
+
+@pytest.fixture(scope="module")
+def mapping6():
+    return ModAMapping(MOutOfNCode(3, 5), n_bits=6)
+
+
+class TestClassification:
+    def test_every_gate_yields_two_sites(self, tree6):
+        sites = classify_fault_sites(tree6, include_inputs=False)
+        assert len(sites) == 2 * tree6.circuit.num_gates
+        kinds = {s.kind for s in sites}
+        assert kinds == {"sa0", "sa1"}
+
+    def test_address_sites_flagged(self, tree6):
+        sites = classify_fault_sites(tree6, include_inputs=True)
+        address = [s for s in sites if s.kind == "address"]
+        assert len(address) == 2 * 6
+        assert all(s.escape_per_cycle is None for s in address)
+
+    def test_site_geometry(self, tree6):
+        sites = classify_fault_sites(tree6, include_inputs=False)
+        for site in sites:
+            assert 0 <= site.block_lo < 6
+            assert 1 <= site.block_width <= 6
+            assert 0 <= site.sub_value < (1 << site.block_width)
+
+
+class TestClosedFormsAgainstExhaustive:
+    @pytest.mark.parametrize("lo,width,m1", [
+        (0, 1, 0), (0, 2, 3), (2, 2, 1), (0, 4, 5), (4, 2, 2), (0, 6, 37),
+    ])
+    def test_mod_a_mapping(self, mapping6, lo, width, m1):
+        closed = sa1_escape_closed_form(mapping6, lo, width, m1)
+        exact = sa1_escape_exhaustive(mapping6, lo, width, m1)
+        # the completion remap (none here: 2^6 > C) may only reduce escape
+        assert closed == exact
+
+    @pytest.mark.parametrize("lo,width,m1", [(0, 3, 2), (3, 2, 1), (0, 6, 9)])
+    def test_parity_mapping(self, lo, width, m1):
+        mapping = ParityMapping(6)
+        closed = sa1_escape_closed_form(mapping, lo, width, m1)
+        exact = sa1_escape_exhaustive(mapping, lo, width, m1)
+        assert closed == exact == Fraction(1, 2)
+
+    def test_identity_mapping_only_self_collides(self):
+        code = MOutOfNCode(5, 10)  # 252 >= 2^6
+        mapping = IdentityMapping(code, 6)
+        assert sa1_escape_closed_form(mapping, 0, 3, 2) == Fraction(1, 8)
+        assert sa1_escape_exhaustive(mapping, 0, 3, 2) == Fraction(1, 8)
+
+    @pytest.mark.parametrize("lo,width", [(0, 2), (2, 2), (4, 2), (3, 3)])
+    def test_truncated_berger(self, lo, width):
+        mapping = TruncatedBergerMapping(6, k=2)  # info bits 0..3
+        closed = sa1_escape_closed_form(mapping, lo, width, m1=1)
+        exact = sa1_escape_exhaustive(mapping, lo, width, m1=1)
+        assert closed == exact
+
+    def test_truncated_berger_high_block_is_blind(self):
+        mapping = TruncatedBergerMapping(6, k=2)
+        assert sa1_escape_closed_form(mapping, 4, 2, 1) == Fraction(1)
+
+    def test_exhaustive_refuses_huge_spaces(self):
+        mapping = ParityMapping(24)
+        with pytest.raises(ValueError):
+            sa1_escape_exhaustive(mapping, 0, 2, 1)
+
+
+class TestAnalyzeDecoder:
+    def test_sa0_sites_zero_latency(self, tree6, mapping6):
+        analysis = analyze_decoder(tree6, mapping6)
+        assert all(s.zero_latency for s in analysis.sa0_sites)
+        for s in analysis.sa0_sites:
+            total = 1 << s.block_width
+            assert s.escape_per_cycle == Fraction(total - 1, total)
+
+    def test_sa1_escape_bounded_by_paper_formula(self, tree6, mapping6):
+        from repro.core.latency import worst_escape_probability
+
+        analysis = analyze_decoder(tree6, mapping6)
+        for s in analysis.sa1_sites:
+            bound = worst_escape_probability(s.block_width, mapping6.a)
+            assert s.escape_per_cycle <= bound
+
+    def test_small_blocks_are_zero_latency(self, tree6, mapping6):
+        # 2^i <= a: only m1 collides -> zero detection latency (§III.2).
+        analysis = analyze_decoder(tree6, mapping6)
+        for s in analysis.sa1_sites:
+            if (1 << s.block_width) <= mapping6.a:
+                assert s.zero_latency
+
+    def test_worst_escape_with_identity_mapping_is_nonexcitation(self):
+        tree = DecoderTree(4)
+        code = MOutOfNCode(4, 8)  # 70 >= 16
+        analysis = analyze_decoder(tree, IdentityMapping(code, 4))
+        # every sa1 site collides only with itself
+        assert all(s.zero_latency for s in analysis.sa1_sites)
+
+    def test_pndc_of_site(self, tree6, mapping6):
+        analysis = analyze_decoder(tree6, mapping6)
+        site = max(analysis.sa1_sites, key=lambda s: s.escape_per_cycle)
+        assert site.pndc(10) == float(site.escape_per_cycle) ** 10
+
+    def test_exhaustive_mode_matches_closed_form_without_remap(self, tree6):
+        mapping = ModAMapping(MOutOfNCode(3, 5), n_bits=6, complete=False)
+        fast = analyze_decoder(tree6, mapping, exhaustive=False)
+        slow = analyze_decoder(tree6, mapping, exhaustive=True)
+        for a, b in zip(fast.sa1_sites, slow.sa1_sites):
+            assert a.escape_per_cycle == b.escape_per_cycle
+
+    def test_completion_remap_only_reduces_escape(self, tree6):
+        # The remap reassigns one address to a fresh word: collisions can
+        # only disappear, so the closed form is a safe upper bound.
+        mapping = ModAMapping(MOutOfNCode(3, 5), n_bits=6, complete=True)
+        assert mapping._remap  # address 9 -> unused word index 9
+        fast = analyze_decoder(tree6, mapping, exhaustive=False)
+        slow = analyze_decoder(tree6, mapping, exhaustive=True)
+        strictly_better = 0
+        for a, b in zip(fast.sa1_sites, slow.sa1_sites):
+            assert b.escape_per_cycle <= a.escape_per_cycle
+            if b.escape_per_cycle < a.escape_per_cycle:
+                strictly_better += 1
+        assert strictly_better > 0
+
+    def test_histogram_counts_all_sa1_sites(self, tree6, mapping6):
+        analysis = analyze_decoder(tree6, mapping6)
+        hist = analysis.escape_histogram()
+        assert sum(hist.values()) == len(analysis.sa1_sites)
+
+    def test_zero_latency_fraction_in_unit_interval(self, tree6, mapping6):
+        analysis = analyze_decoder(tree6, mapping6)
+        assert 0.0 < analysis.zero_latency_fraction() <= 1.0

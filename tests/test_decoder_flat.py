@@ -1,0 +1,117 @@
+import pytest
+
+from repro.circuits.faults import NetStuckAt, PinStuckAt
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import ParityMapping, mapping_for_code
+from repro.decoder.flat import FlatDecoder
+from repro.rom.nor_matrix import CheckedDecoder
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_one_hot(self, n):
+        decoder = FlatDecoder(n)
+        for address in range(1 << n):
+            outs = decoder.decode(address)
+            assert sum(outs) == 1 and outs[address] == 1
+
+    def test_gate_count_single_level(self):
+        decoder = FlatDecoder(4)
+        # 4 inverters + 16 wide ANDs
+        assert decoder.circuit.num_gates == 20
+
+    def test_site_of_net_covers_all_gates(self):
+        decoder = FlatDecoder(3)
+        for gate in decoder.circuit.gates:
+            assert decoder.site_of_net(gate.output) is not None
+
+    def test_root_block_spans_all_bits(self):
+        decoder = FlatDecoder(3)
+        assert decoder.root.width == 3
+        assert decoder.root.num_outputs == 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FlatDecoder(0)
+
+    def test_invalid_address(self):
+        with pytest.raises(ValueError):
+            FlatDecoder(3).decode(8)
+
+
+class TestFaultGeometry:
+    def test_and_pin_sa1_merges_one_bit_neighbours(self):
+        decoder = FlatDecoder(4)
+        # pin `bit` of the AND for word line v reads literal of that bit;
+        # stuck at 1 merges v with v ^ (1 << bit).
+        value = 0b1010
+        gate = decoder.circuit.driver_of(decoder.root.output_nets[value])
+        pin = 2
+        fault = PinStuckAt(gate.index, pin, 1)
+        neighbour = value ^ (1 << pin)
+        selected = decoder.selected_lines(neighbour, faults=(fault,))
+        assert set(selected) == {value, neighbour}
+
+    def test_output_sa0_deselects(self):
+        decoder = FlatDecoder(3)
+        net = decoder.root.output_nets[5]
+        assert decoder.selected_lines(5, faults=(NetStuckAt(net, 0),)) == ()
+
+
+class TestWithCheckedDecoder:
+    def test_parity_rom_on_flat_decoder(self):
+        checked = CheckedDecoder(
+            ParityMapping(4), decoder=FlatDecoder(4)
+        )
+        for address in range(16):
+            assert checked.rom_word(address) == checked.expected_word(
+                address
+            )
+
+    def test_mod_a_rom_on_flat_decoder(self):
+        mapping = mapping_for_code(MOutOfNCode(3, 5), 4)
+        checked = CheckedDecoder(mapping, decoder=FlatDecoder(4))
+        assert checked.rom_word(7) == mapping.codeword(7)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CheckedDecoder(ParityMapping(4), decoder=FlatDecoder(3))
+
+    def test_pin_merge_always_parity_detected(self):
+        # the §III claim: single-level branch merges differ in ONE bit,
+        # so the (even, odd) parity word always leaves the code.
+        decoder = FlatDecoder(4)
+        checked = CheckedDecoder(ParityMapping(4), decoder=decoder)
+        value = 0b0110
+        gate = None
+        for g in checked.tree.circuit.gates:
+            if g.output == checked.tree.root.output_nets[value]:
+                gate = g
+        for pin in range(4):
+            fault = PinStuckAt(gate.index, pin, 1)
+            neighbour = value ^ (1 << pin)
+            _, rom_word = checked.evaluate(neighbour, faults=(fault,))
+            # merged word = AND of two complementary parity words = 00
+            assert rom_word == (0, 0)
+
+
+class TestStyleExperiment:
+    def test_experiment_shape(self):
+        from repro.experiments.decoder_style import (
+            run_decoder_style_experiment,
+        )
+
+        flat_parity, tree_parity, tree_mod = run_decoder_style_experiment(
+            n_bits=5, cycles=250, seed=3
+        )
+        # the paper's claim, as orderings:
+        assert (
+            flat_parity.zero_latency_fraction
+            > tree_parity.zero_latency_fraction
+        )
+        assert (
+            tree_mod.zero_latency_fraction
+            > tree_parity.zero_latency_fraction
+        )
+        assert tree_mod.mean_latency < tree_parity.mean_latency
+        assert flat_parity.mean_latency < tree_parity.mean_latency

@@ -1,0 +1,132 @@
+import pytest
+
+from repro.circuits.faults import NetStuckAt
+from repro.decoder.tree import DecoderTree, build_decoder
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_one_hot_decode(self, n):
+        tree = DecoderTree(n)
+        for address in range(1 << n):
+            outs = tree.decode(address)
+            assert sum(outs) == 1
+            assert outs[address] == 1
+
+    def test_non_power_of_two_widths(self):
+        # n = 3, 5, 6, 7 exercise the carried-block path of the paper.
+        for n in (3, 5, 7):
+            tree = DecoderTree(n)
+            assert tree.selected_lines(0) == (0,)
+            assert tree.selected_lines((1 << n) - 1) == ((1 << n) - 1,)
+
+    def test_invalid_address(self):
+        with pytest.raises(ValueError):
+            DecoderTree(3).decode(8)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            DecoderTree(0)
+
+    def test_build_decoder_helper(self):
+        assert build_decoder(4).num_outputs == 16
+
+
+class TestStructure:
+    def test_level0_blocks(self):
+        tree = DecoderTree(4)
+        level0 = [b for b in tree.blocks if b.level == 0]
+        assert len(level0) == 4
+        assert all(b.width == 1 and b.num_outputs == 2 for b in level0)
+
+    def test_root_spans_all_bits(self):
+        tree = DecoderTree(5)
+        assert (tree.root.lo, tree.root.hi) == (0, 5)
+        assert tree.root.num_outputs == 32
+
+    def test_gate_count_power_of_two(self):
+        # n=4: 4 inverters + 2 blocks of 4 + 1 block of 16 = 4 + 8 + 16.
+        assert DecoderTree(4).circuit.num_gates == 28
+
+    def test_every_gate_belongs_to_a_block(self):
+        tree = DecoderTree(5)
+        for gate in tree.circuit.gates:
+            site = tree.site_of_net(gate.output)
+            assert site is not None
+            block, value = site
+            assert block.output_nets[value] == gate.output
+
+    def test_block_output_values(self):
+        tree = DecoderTree(4)
+        # the root block's output v must decode address v
+        for value in range(16):
+            outs = tree.decode(value)
+            assert outs.index(1) == value
+
+    def test_adjacency_enforced(self):
+        tree = DecoderTree(2)
+        level0 = [b for b in tree.blocks if b.level == 0]
+        with pytest.raises(ValueError):
+            tree._combine(level0[0], level0[0], 1)
+
+
+class TestPaperProperties:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_property_a_exactly_one_active_output_per_block(self, n):
+        tree = DecoderTree(n)
+        for address in range(1 << n):
+            assert tree.check_property_a(address)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_property_b_block_all_zero_forces_decoder_all_zero(self, n):
+        tree = DecoderTree(n)
+        for block in tree.blocks:
+            assert tree.check_property_b(block, address=0)
+            assert tree.check_property_b(block, address=(1 << n) - 1)
+
+
+class TestFaultBehaviour:
+    def test_sa0_on_selected_line_deselects_everything(self):
+        tree = DecoderTree(3)
+        line5 = tree.root.output_nets[5]
+        outs = tree.decode(5, faults=(NetStuckAt(line5, 0),))
+        assert sum(outs) == 0
+
+    def test_sa1_selects_exactly_two_lines(self):
+        tree = DecoderTree(4)
+        line3 = tree.root.output_nets[3]
+        fault = NetStuckAt(line3, 1)
+        for address in range(16):
+            selected = tree.selected_lines(address, faults=(fault,))
+            if address == 3:
+                assert selected == (3,)
+            else:
+                assert set(selected) == {3, address}
+
+    def test_internal_sa1_merges_two_lines_differing_on_block_bits(self):
+        tree = DecoderTree(4)
+        # pick an internal (non-root) block output
+        internal = [b for b in tree.blocks if 0 < b.level and b is not tree.root]
+        block = internal[0]
+        m1 = 2 % block.num_outputs
+        fault = NetStuckAt(block.output_nets[m1], 1)
+        mask = ((1 << block.width) - 1) << block.lo
+        for address in range(16):
+            selected = tree.selected_lines(address, faults=(fault,))
+            if (address & mask) >> block.lo == m1:
+                assert selected == (address,)
+            else:
+                assert len(selected) == 2
+                other = [x for x in selected if x != address][0]
+                # merged line differs from the address only inside the block
+                assert (other & ~mask) == (address & ~mask)
+                assert (other & mask) >> block.lo == m1
+
+    def test_inverter_sa1_behaves_like_width1_merge(self):
+        tree = DecoderTree(3)
+        level0 = [b for b in tree.blocks if b.level == 0][0]
+        comp_net = level0.output_nets[0]  # complement literal
+        fault = NetStuckAt(comp_net, 1)
+        # when a0=1, both the complement and direct are high -> two lines
+        selected = tree.selected_lines(0b001, faults=(fault,))
+        assert set(selected) == {0b000, 0b001}

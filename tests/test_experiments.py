@@ -1,0 +1,146 @@
+import pytest
+
+from repro.experiments.ablations import (
+    run_odd_a_ablation,
+    run_unordered_ablation,
+)
+from repro.experiments.area_example import generate_area_example
+from repro.experiments.common import format_table, parse_code_name
+from repro.experiments.latency_empirical import run_latency_experiment
+from repro.experiments.safety_example import generate_safety_example
+from repro.experiments.structure import (
+    build_figure3_instance,
+    verify_structure,
+)
+from repro.experiments.table1 import generate_table1, render_table1
+from repro.experiments.table2 import generate_table2, render_table2
+
+
+class TestCommon:
+    def test_parse_code_name(self):
+        code = parse_code_name("5-out-of-9")
+        assert (code.m, code.n) == (5, 9)
+        with pytest.raises(ValueError):
+            parse_code_name("garbage")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return generate_table1()
+
+    def test_six_rows(self, rows):
+        assert [r.c for r in rows] == [2, 5, 10, 20, 30, 40]
+
+    def test_paper_matching_rows(self, rows):
+        matching = {r.c for r in rows if r.matches_paper}
+        assert matching == {2, 10, 20, 40}
+
+    def test_mismatched_rows_are_cheaper_and_meet_spec(self, rows):
+        for row in rows:
+            assert row.our_pndc <= 1e-9
+            if not row.matches_paper:
+                paper_r = parse_code_name(row.paper_code).n
+                ours_r = parse_code_name(row.our_code).n
+                assert ours_r < paper_r
+
+    def test_overheads_monotone_down_the_table(self, rows):
+        for col in range(3):
+            values = [r.our_overheads[col] for r in rows]
+            assert values == sorted(values, reverse=True)
+
+    def test_model_tracks_reported_numbers(self, rows):
+        for row in rows:
+            for model, reported in zip(
+                row.paper_overheads_model, row.paper_overheads_reported
+            ):
+                assert model == pytest.approx(reported, rel=0.15)
+
+    def test_render(self, rows):
+        text = render_table1(rows)
+        assert "9-out-of-18" in text and "16x2K" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return generate_table2()
+
+    def test_all_rows_match_paper(self, rows):
+        assert all(r.matches_paper for r in rows)
+
+    def test_known_inconsistent_row_flagged(self, rows):
+        flags = {r.pndc: r.our_meets_target for r in rows}
+        assert flags[1e-20] is False
+        assert all(flags[p] for p in flags if p != 1e-20)
+
+    def test_overheads_monotone(self, rows):
+        for col in range(3):
+            values = [r.our_overheads[col] for r in rows]
+            assert values == sorted(values)
+
+    def test_render(self, rows):
+        assert "7-out-of-13" in render_table2(rows)
+
+
+class TestSafetyAndAreaExamples:
+    def test_safety_example_numbers(self):
+        ex = generate_safety_example()
+        assert ex.rate_full_coverage_scheme == pytest.approx(1e-9)
+        assert ex.rate_array_only == pytest.approx(1.0009e-6, rel=1e-3)
+        assert ex.orders_of_magnitude_lost == pytest.approx(3.0, abs=0.01)
+
+    def test_area_example_parity_terms_match_paper(self):
+        ex = generate_area_example()
+        assert ex.parity_bit_percent == pytest.approx(6.25)
+        assert ex.parity_checker_percent == pytest.approx(0.15)
+        # The ROM term from the formula as printed (documented gap vs 1.9)
+        assert ex.rom_percent == pytest.approx(1.245, abs=0.01)
+
+
+class TestStructure:
+    def test_all_checks_pass(self):
+        report = verify_structure()
+        assert report.all_ok, report.checks
+
+    def test_custom_instance(self):
+        memory = build_figure3_instance(words=64, bits=4, column_mux=2)
+        report = verify_structure(memory)
+        assert report.all_ok
+
+
+class TestLatencyEmpirical:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return run_latency_experiment(n_bits=5, cycles=300, seed=3)
+
+    def test_measured_tracks_analytic(self, experiment):
+        for c, (measured, analytic) in experiment.curve.items():
+            if c <= 50:
+                assert measured == pytest.approx(analytic, abs=0.12), c
+
+    def test_sa0_zero_latency(self, experiment):
+        assert experiment.zero_latency_sa0
+
+    def test_high_coverage(self, experiment):
+        assert experiment.coverage > 0.95
+
+
+class TestAblations:
+    def test_odd_a_ablation(self):
+        result = run_odd_a_ablation(n_bits=5, k=2, cycles=200)
+        assert result.blind_sites_mod_a == 0
+        assert result.blind_sites_berger > 0
+        assert result.coverage_mod_a > result.coverage_truncated_berger
+
+    def test_unordered_ablation(self):
+        result = run_unordered_ablation(n_bits=5, cycles=200)
+        assert result.unordered_is_and_closed
+        assert not result.ordered_is_and_closed
+        assert result.coverage_unordered > result.coverage_ordered

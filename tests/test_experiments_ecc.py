@@ -1,0 +1,59 @@
+import pytest
+
+from repro.experiments.ecc_baseline import (
+    run_ecc_baseline,
+    storage_overhead_rows,
+)
+
+
+class TestStorageOverheads:
+    def test_rows(self):
+        rows = storage_overhead_rows()
+        assert [bits for bits, _, _ in rows] == [16, 32, 64]
+        for bits, parity_pct, secded_pct in rows:
+            assert parity_pct == pytest.approx(100.0 / bits)
+            assert secded_pct > parity_pct
+
+    def test_known_values(self):
+        rows = dict(
+            (bits, (parity, secded))
+            for bits, parity, secded in storage_overhead_rows()
+        )
+        assert rows[16][0] == pytest.approx(6.25)
+        assert rows[16][1] == pytest.approx(37.5)   # (5+1)/16
+        assert rows[64][1] == pytest.approx(12.5)   # (7+1)/64
+
+
+class TestMergeBehaviour:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ecc_baseline(data_bits=16, trials=1500, seed=5)
+
+    def test_counts_partition_trials(self, result):
+        merge = result.secded_merge
+        assert merge.clean + merge.detected + merge.silent_wrong == (
+            merge.trials
+        )
+
+    def test_secded_misses_a_large_fraction_of_merges(self, result):
+        # the headline: ECC on the data path does not cover decoder
+        # faults — a substantial share of merges silently corrupt data
+        assert result.secded_merge.silent_wrong_fraction > 0.15
+
+    def test_secded_detects_some_but_not_all(self, result):
+        assert 0.0 < result.secded_merge.detected_fraction < 1.0
+
+    def test_parity_detects_about_half_of_visible_merges(self, result):
+        # AND-merge flips a ~binomial number of 1s to 0: odd-weight
+        # changes are detected, about half
+        assert result.parity_merge_detected_fraction == pytest.approx(
+            0.5, abs=0.1
+        )
+
+    def test_deterministic(self):
+        a = run_ecc_baseline(data_bits=8, trials=200, seed=3)
+        b = run_ecc_baseline(data_bits=8, trials=200, seed=3)
+        assert (
+            a.secded_merge.silent_wrong
+            == b.secded_merge.silent_wrong
+        )

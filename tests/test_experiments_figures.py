@@ -1,0 +1,61 @@
+import pytest
+
+from repro.experiments.figures import (
+    ascii_plot,
+    survival_figure,
+    tradeoff_figure,
+)
+
+
+class TestAsciiPlot:
+    def test_single_series(self):
+        text = ascii_plot({"s": [(0, 0), (1, 1), (2, 4)]})
+        assert "legend: * s" in text
+        assert text.count("\n") >= 10
+
+    def test_multiple_series_markers(self):
+        text = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}
+        )
+        assert "* a" in text and "o b" in text
+
+    def test_log_axis(self):
+        text = ascii_plot({"s": [(1, 0), (100, 1)]}, logx=True)
+        assert "log10" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"s": [(0, 5), (1, 5)]})
+        assert "top=5" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_dimensions(self):
+        text = ascii_plot(
+            {"s": [(0, 0), (1, 1)]}, width=30, height=8
+        )
+        plot_rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(plot_rows) == 8
+        assert all(len(l) == 31 for l in plot_rows)
+
+
+class TestFigures:
+    def test_tradeoff_figure_mentions_all_rams(self):
+        text = tradeoff_figure(cs=(2, 10, 40))
+        for label in ("16x2K", "32x4K", "64x8K"):
+            assert label in text
+
+    def test_survival_figure_has_both_series(self):
+        text = survival_figure(n_bits=4, cycles=100, seed=1)
+        assert "measured" in text and "analytic" in text
+
+    def test_cli_figures_command(self, capsys):
+        from repro.cli import main
+
+        # keep it cheap: the command renders full-size figures
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Trade-off curve" in out

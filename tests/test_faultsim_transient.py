@@ -1,0 +1,106 @@
+import pytest
+
+from repro.faultsim.transient import (
+    TransientUpset,
+    scrubbed_stream,
+    transient_campaign,
+)
+from repro.memory.organization import MemoryOrganization
+from repro.memory.ram import BehavioralRAM
+
+
+def make_ram(words=32):
+    return BehavioralRAM(MemoryOrganization(words, 8, column_mux=4))
+
+
+class TestScrubbedStream:
+    def test_length_and_range(self):
+        stream = scrubbed_stream(16, 100, scrub_period=5)
+        assert len(stream) == 100
+        assert all(0 <= a < 16 for a in stream)
+
+    def test_scrubber_visits_round_robin(self):
+        stream = scrubbed_stream(16, 80, scrub_period=4, seed=1)
+        scrub_visits = stream[::4]
+        assert scrub_visits[:4] == [0, 1, 2, 3]
+
+    def test_no_scrubbing(self):
+        stream = scrubbed_stream(16, 50, scrub_period=0, seed=1)
+        assert len(stream) == 50
+
+    def test_deterministic(self):
+        assert scrubbed_stream(8, 30, 3, seed=9) == scrubbed_stream(
+            8, 30, 3, seed=9
+        )
+
+
+class TestTransientCampaign:
+    def test_upset_detected_on_next_victim_read(self):
+        ram = make_ram()
+        upset = TransientUpset(address=5, bit=2, cycle=3)
+        # stream reads 5 at cycles 1 (before upset) and 8 (after)
+        addresses = [0, 5, 1, 2, 3, 4, 6, 7, 5, 5]
+        results = transient_campaign(ram, [upset], addresses)
+        assert len(results) == 1
+        assert results[0].detected_at == 8
+        assert results[0].latency == 5
+
+    def test_upset_never_read_is_never_detected(self):
+        ram = make_ram()
+        upset = TransientUpset(address=5, bit=0, cycle=0)
+        addresses = [0, 1, 2, 3]
+        results = transient_campaign(ram, [upset], addresses)
+        assert results[0].detected_at is None
+        assert results[0].latency is None
+
+    def test_parity_bit_upset_also_detected(self):
+        ram = make_ram()
+        upset = TransientUpset(address=2, bit=8, cycle=0)  # the check bit
+        results = transient_campaign(ram, [upset], [2])
+        assert results[0].detected_at == 0
+
+    def test_scrubbing_bounds_latency(self):
+        ram = make_ram(words=16)
+        upsets = [
+            TransientUpset(address=a, bit=1, cycle=0) for a in range(16)
+        ]
+        period = 2
+        cycles = 16 * period * 2 + 10
+        stream = scrubbed_stream(16, cycles, scrub_period=period, seed=4)
+        results = transient_campaign(ram, upsets, stream)
+        latencies = [r.latency for r in results]
+        assert all(lat is not None for lat in latencies)
+        # the scrubber guarantees a visit within words * period cycles
+        assert max(latencies) <= 16 * period + period
+
+    def test_requires_parity(self):
+        ram = BehavioralRAM(
+            MemoryOrganization(16, 4, column_mux=2), with_parity=False
+        )
+        with pytest.raises(ValueError):
+            transient_campaign(
+                ram, [TransientUpset(0, 0, 0)], [0]
+            )
+
+    def test_address_validation(self):
+        ram = make_ram()
+        with pytest.raises(ValueError):
+            transient_campaign(
+                ram, [TransientUpset(999, 0, 0)], [0]
+            )
+
+    def test_flip_stored_bit_validation(self):
+        ram = make_ram()
+        with pytest.raises(ValueError):
+            ram.flip_stored_bit(0, 99)
+
+    def test_double_upset_same_word_escapes_parity(self):
+        # two flips in one word restore even parity: the known limit of
+        # the single-parity-bit data path (SEC-DED exists for this).
+        ram = make_ram()
+        zero = (0,) * 8
+        for address in range(ram.organization.words):
+            ram.write(address, zero)
+        ram.flip_stored_bit(3, 0)
+        ram.flip_stored_bit(3, 1)
+        assert ram.parity_ok(3)

@@ -1,0 +1,88 @@
+"""Cross-representation consistency: behavioural vs gate-level models.
+
+These tests pin the property that makes the campaigns trustworthy: the
+behavioural fast paths (NOR matrix output rules, popcount checkers,
+mapping code words) agree with the gate-level netlists bit for bit,
+including under injected faults.
+"""
+
+import itertools
+
+import pytest
+
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.circuits.faults import NetStuckAt
+from repro.codes.m_out_of_n import MOutOfNCode, maximal_code_for_width
+from repro.core.mapping import ModAMapping, ParityMapping, mapping_for_code
+from repro.decoder.flat import FlatDecoder
+from repro.decoder.tree import DecoderTree
+from repro.rom.nor_matrix import CheckedDecoder, NORMatrix
+
+
+class TestNorMatrixGateLevel:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_all_line_patterns_agree(self, r):
+        code = maximal_code_for_width(r)
+        rows = [code.word_at(i % code.cardinality()) for i in range(6)]
+        matrix = NORMatrix(rows)
+        from repro.circuits.netlist import Circuit
+
+        circuit = Circuit()
+        lines = circuit.add_inputs([f"l{i}" for i in range(6)])
+        for net in matrix.append_to_circuit(circuit, lines):
+            circuit.mark_output(net)
+        for pattern in itertools.product((0, 1), repeat=6):
+            assert circuit.evaluate(pattern) == matrix.output(pattern)
+
+
+class TestCheckedDecoderConsistency:
+    @pytest.mark.parametrize("decoder_cls", [DecoderTree, FlatDecoder])
+    def test_rom_word_equals_behavioural_composition(self, decoder_cls):
+        n = 4
+        mapping = mapping_for_code(MOutOfNCode(3, 5), n)
+        checked = CheckedDecoder(mapping, decoder=decoder_cls(n))
+        matrix = NORMatrix.from_mapping(mapping)
+        for address in range(1 << n):
+            lines, rom_word = checked.evaluate(address)
+            assert rom_word == matrix.output(lines)
+
+    @pytest.mark.parametrize("decoder_cls", [DecoderTree, FlatDecoder])
+    def test_faulty_rom_word_still_equals_behavioural_composition(
+        self, decoder_cls
+    ):
+        n = 4
+        mapping = ParityMapping(n)
+        checked = CheckedDecoder(mapping, decoder=decoder_cls(n))
+        matrix = NORMatrix.from_mapping(mapping)
+        # stuck-at-1 on a word line: the gate-level ROM must produce the
+        # AND exactly as the behavioural rule says
+        line = checked.tree.root.output_nets[3]
+        for address in range(1 << n):
+            lines, rom_word = checked.evaluate(
+                address, faults=(NetStuckAt(line, 1),)
+            )
+            assert rom_word == matrix.output(lines)
+
+
+class TestCheckerConsistencyWide:
+    @pytest.mark.parametrize("m,n", [(2, 5), (3, 6), (4, 7)])
+    def test_structural_equals_behavioural_everywhere(self, m, n):
+        structural = MOutOfNChecker(m, n, structural=True)
+        behavioural = MOutOfNChecker(m, n, structural=False)
+        for word in itertools.product((0, 1), repeat=n):
+            assert structural.indication(word) == behavioural.indication(
+                word
+            ), word
+
+
+class TestMappingRomAgreement:
+    def test_mod_a_mapping_table_is_what_the_rom_is_programmed_with(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 5)
+        matrix = NORMatrix.from_mapping(mapping)
+        assert list(matrix.rows) == mapping.table()
+
+    def test_emitted_words_match_words_emitted_helper(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), 5)
+        checked = CheckedDecoder(mapping)
+        emitted = {checked.rom_word(a) for a in range(32)}
+        assert emitted == set(mapping.words_emitted())

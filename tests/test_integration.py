@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the full paper flow, end to end."""
+
+import pytest
+
+from repro import (
+    MemoryOrganization,
+    SelectionPolicy,
+    SelfCheckingMemory,
+    StdCellAreaModel,
+    select_code,
+)
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.core.mapping import mapping_for_code
+from repro.decoder.analysis import analyze_decoder
+from repro.faultsim.campaign import decoder_campaign, scheme_campaign
+from repro.faultsim.injector import (
+    decoder_fault_list,
+    random_addresses,
+    sample_faults,
+)
+from repro.memory.faults import CellStuckAt
+from repro.rom.nor_matrix import CheckedDecoder
+
+
+class TestRequirementToSilicon:
+    """c/Pndc requirement -> code -> scheme -> verified behaviour."""
+
+    def test_full_flow_meets_latency_spec_empirically(self):
+        c_req, pndc_req = 10, 1e-9
+        selection = select_code(c_req, pndc_req)
+        mapping = mapping_for_code(selection.code, 6)
+        checked = CheckedDecoder(mapping)
+        checker = MOutOfNChecker(
+            selection.code.m, selection.code.n, structural=False
+        )
+        faults = decoder_fault_list(checked)
+        addresses = random_addresses(6, 800, seed=13)
+        result = decoder_campaign(
+            checked, checker, faults, addresses, attach_analytic=False
+        )
+        # every fault detected well within the horizon
+        assert result.coverage == 1.0
+        # and the *measured latency from first error* respects the model:
+        # across all sa1 faults, detection happens within a small multiple
+        # of the analytic quantile for Pndc=1e-9 at a=9
+        from repro.core.latency import detection_quantile
+        from fractions import Fraction
+
+        bound = detection_quantile(Fraction(1, 8), 1 - 1e-6)
+        sa1 = [r for r in result.records if r.kind == "sa1"]
+        latencies = [r.latency for r in sa1 if r.latency is not None]
+        assert latencies and max(latencies) <= 6 * bound
+
+    def test_analytic_and_simulated_worst_escape_agree(self):
+        selection = select_code(10, 1e-9)
+        mapping = mapping_for_code(selection.code, 5)
+        checked = CheckedDecoder(mapping)
+        analysis = analyze_decoder(checked.tree, mapping)
+        # the analytic worst per-cycle escape over sa1 sites is bounded by
+        # the selection's promised worst case once non-excitation-only
+        # sites (2^i <= a, zero latency) are excluded
+        risky = [
+            s
+            for s in analysis.sa1_sites
+            if not s.zero_latency
+        ]
+        for site in risky:
+            assert site.escape_per_cycle <= selection.achieved_escape
+
+    def test_structural_checkers_in_the_loop(self):
+        org = MemoryOrganization(64, 8, column_mux=4)
+        memory = SelfCheckingMemory.from_selection(
+            org, select_code(10, 1e-9), structural_checkers=True
+        )
+        memory.write(5, (1, 0, 1, 0, 1, 0, 1, 0))
+        result = memory.read(5)
+        assert not result.error_detected
+        memory.inject_memory_fault(CellStuckAt(5, 2, 0))
+        assert memory.read(5).error_detected
+
+
+class TestPolicyConsistency:
+    def test_exact_never_wider_than_necessary_vs_approx(self):
+        # exact may be wider than approx only where approx misses spec
+        for c in (2, 5, 10, 20, 40):
+            for pndc in (1e-3, 1e-9, 1e-15):
+                exact = select_code(c, pndc, policy=SelectionPolicy.EXACT)
+                approx = select_code(
+                    c, pndc, policy=SelectionPolicy.APPROXIMATE
+                )
+                if exact.rom_width > approx.rom_width:
+                    assert not approx.meets_target
+
+
+class TestAreaLatencySurface:
+    def test_every_table_point_runs_through_the_real_scheme(self):
+        # build one small scheme per selected code to prove the codes are
+        # constructible end to end (not just on paper)
+        model = StdCellAreaModel()
+        org = MemoryOrganization(256, 8, column_mux=4)
+        for c in (5, 10, 20, 40):
+            selection = select_code(c, 1e-9)
+            memory = SelfCheckingMemory.from_selection(org, selection)
+            memory.write(1, (1,) * 8)
+            assert not memory.read(1).error_detected
+            overhead = model.overhead_percent(org, selection.rom_width)
+            assert overhead > 0
+
+    def test_wider_code_never_cheaper(self):
+        model = StdCellAreaModel()
+        org = MemoryOrganization(2048, 16, column_mux=8)
+        overheads = [model.overhead_percent(org, r) for r in range(2, 19)]
+        assert overheads == sorted(overheads)
+
+
+class TestEndToEndCampaign:
+    def test_scheme_campaign_detects_most_faults_quickly(self):
+        org = MemoryOrganization(64, 8, column_mux=4)
+        memory = SelfCheckingMemory.from_selection(
+            org, select_code(10, 1e-9)
+        )
+        row_faults = sample_faults(
+            decoder_fault_list(memory.row), 16, seed=21
+        )
+        addresses = random_addresses(org.n, 500, seed=22)
+        result = scheme_campaign(memory, addresses, row_faults=row_faults)
+        assert result.coverage == 1.0
+        # most detections happen within tens of cycles
+        assert result.mean_detection_cycle() < 100

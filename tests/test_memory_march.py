@@ -1,0 +1,133 @@
+import pytest
+
+from repro.memory.faults import (
+    CellStuckAt,
+    CouplingFault,
+    DataLineStuckAt,
+)
+from repro.memory.march import (
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    MATS_PLUS,
+    MarchElement,
+    MarchTest,
+    march_address_stream,
+    run_march,
+)
+from repro.memory.organization import MemoryOrganization
+from repro.memory.ram import BehavioralRAM
+
+
+def make_ram():
+    return BehavioralRAM(MemoryOrganization(32, 4, column_mux=2))
+
+
+class TestMarchDefinitions:
+    def test_complexities(self):
+        assert MARCH_C_MINUS.complexity == 10
+        assert MATS_PLUS.complexity == 5
+        assert MARCH_X.complexity == 6
+        assert MARCH_Y.complexity == 8
+
+    def test_element_validation(self):
+        with pytest.raises(ValueError):
+            MarchElement("^", ("r0",))
+        with pytest.raises(ValueError):
+            MarchElement("+", ("q0",))
+
+    def test_element_addresses(self):
+        up = MarchElement("+", ("r0",))
+        down = MarchElement("-", ("r0",))
+        assert list(up.addresses(4)) == [0, 1, 2, 3]
+        assert list(down.addresses(4)) == [3, 2, 1, 0]
+
+    def test_str_representations(self):
+        assert "March C-" in str(MARCH_C_MINUS)
+        assert "10N" in str(MARCH_C_MINUS)
+
+
+class TestFaultFreePass:
+    @pytest.mark.parametrize(
+        "test", [MARCH_C_MINUS, MATS_PLUS, MARCH_X, MARCH_Y]
+    )
+    def test_healthy_ram_passes(self, test):
+        assert run_march(make_ram(), test) == []
+
+
+class TestCoverage:
+    @pytest.mark.parametrize(
+        "test", [MARCH_C_MINUS, MATS_PLUS, MARCH_X, MARCH_Y]
+    )
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_every_march_detects_every_cell_stuck_at(self, test, value):
+        # SAF coverage is the baseline guarantee of all march tests
+        for address in (0, 13, 31):
+            for bit in (0, 3):
+                ram = make_ram()
+                ram.inject(CellStuckAt(address, bit, value))
+                violations = run_march(ram, test)
+                assert violations, (test.name, address, bit, value)
+
+    def test_violation_records_location(self):
+        ram = make_ram()
+        ram.inject(CellStuckAt(7, 2, 1))
+        violations = run_march(ram, MATS_PLUS)
+        assert any(v.address == 7 for v in violations)
+        first = violations[0]
+        assert first.observed != first.expected
+
+    def test_data_line_fault_detected(self):
+        ram = make_ram()
+        ram.inject(DataLineStuckAt(1, 1))
+        assert run_march(ram, MATS_PLUS)
+
+    def test_march_c_minus_detects_idempotent_coupling(self):
+        # CFid: aggressor=1 forces victim bit high on reads
+        ram = make_ram()
+        ram.inject(
+            CouplingFault(
+                aggressor_address=3, aggressor_bit=0,
+                victim_address=9, victim_bit=0,
+                trigger=1, forced=1,
+            )
+        )
+        assert run_march(ram, MARCH_C_MINUS)
+
+
+class TestAddressStream:
+    def test_stream_length(self):
+        words = 8
+        stream = march_address_stream(MATS_PLUS, words)
+        assert len(stream) == MATS_PLUS.complexity * words
+
+    def test_reads_only_filter(self):
+        stream = march_address_stream(MATS_PLUS, 4, reads_only=True)
+        # w0 element contributes nothing; two r/w elements -> 1 read each
+        assert len(stream) == 8
+
+    def test_descending_elements_reverse(self):
+        stream = march_address_stream(
+            MarchTest("t", (MarchElement("-", ("r0",)),)), 4
+        )
+        assert stream == [3, 2, 1, 0]
+
+    def test_stream_drives_decoder_campaign(self):
+        from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+        from repro.codes.m_out_of_n import MOutOfNCode
+        from repro.core.mapping import mapping_for_code
+        from repro.faultsim.campaign import decoder_campaign
+        from repro.faultsim.injector import decoder_fault_list
+        from repro.rom.nor_matrix import CheckedDecoder
+
+        checked = CheckedDecoder(mapping_for_code(MOutOfNCode(3, 5), 5))
+        stream = march_address_stream(MARCH_C_MINUS, 32)
+        result = decoder_campaign(
+            checked,
+            MOutOfNChecker(3, 5, structural=False),
+            decoder_fault_list(checked),
+            stream,
+            attach_analytic=False,
+        )
+        # a full march sweep excites and detects every decoder fault
+        assert result.coverage == 1.0

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.memory.organization import (
+    PAPER_ORGS,
+    MemoryOrganization,
+    paper_org,
+)
+
+
+class TestDerivedGeometry:
+    def test_paper_example_1k16(self):
+        org = MemoryOrganization(1024, 16, column_mux=8)
+        assert (org.n, org.p, org.s) == (10, 7, 3)
+        assert org.rows == 128
+        assert org.array_columns == 128
+        assert org.capacity_bits == 16384
+
+    def test_paper_orgs_table_sizes(self):
+        assert [o.label() for o in PAPER_ORGS] == ["16x2K", "32x4K", "64x8K"]
+        assert [o.p for o in PAPER_ORGS] == [8, 9, 10]
+        assert all(o.s == 3 for o in PAPER_ORGS)
+
+    def test_paper_org_lookup(self):
+        assert paper_org("32x4K").words == 4096
+        with pytest.raises(KeyError):
+            paper_org("8x1K")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization(1000, 16)  # not a power of two
+        with pytest.raises(ValueError):
+            MemoryOrganization(16, 8, column_mux=3)
+        with pytest.raises(ValueError):
+            MemoryOrganization(8, 8, column_mux=8)  # mux eats all bits
+        with pytest.raises(ValueError):
+            MemoryOrganization(16, 0)
+
+
+class TestAddressSplitting:
+    def test_split_join_round_trip(self):
+        org = MemoryOrganization(256, 8, column_mux=4)
+        for address in range(256):
+            row, col = org.split_address(address)
+            assert org.join_address(row, col) == address
+
+    def test_low_bits_select_column(self):
+        org = MemoryOrganization(64, 4, column_mux=8)
+        assert org.split_address(0b101_011) == (0b101, 0b011)
+
+    def test_range_validation(self):
+        org = MemoryOrganization(64, 4, column_mux=8)
+        with pytest.raises(ValueError):
+            org.split_address(64)
+        with pytest.raises(ValueError):
+            org.join_address(8, 0)
+        with pytest.raises(ValueError):
+            org.join_address(0, 8)
+
+    def test_label_non_k(self):
+        assert MemoryOrganization(512, 8, column_mux=4).label() == "8x512"

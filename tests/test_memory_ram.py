@@ -1,0 +1,112 @@
+import pytest
+
+from repro.memory.faults import (
+    CellStuckAt,
+    CouplingFault,
+    DataLineStuckAt,
+    MuxLineStuckAt,
+)
+from repro.memory.organization import MemoryOrganization
+from repro.memory.ram import BehavioralRAM
+
+
+@pytest.fixture
+def ram():
+    return BehavioralRAM(MemoryOrganization(64, 8, column_mux=4))
+
+
+class TestReadWrite:
+    def test_round_trip(self, ram):
+        ram.write(10, (1, 0, 1, 1, 0, 0, 1, 0))
+        assert ram.read_data(10) == (1, 0, 1, 1, 0, 0, 1, 0)
+
+    def test_parity_bit_maintained(self, ram):
+        ram.write(3, (1, 0, 0, 0, 0, 0, 0, 0))
+        word = ram.read(3)
+        assert len(word) == 9
+        assert sum(word) % 2 == 0
+        assert ram.parity_ok(3)
+
+    def test_initial_contents_are_code_words(self, ram):
+        for address in (0, 31, 63):
+            assert ram.parity_ok(address)
+
+    def test_without_parity(self):
+        ram = BehavioralRAM(
+            MemoryOrganization(16, 4, column_mux=2), with_parity=False
+        )
+        ram.write(1, (1, 1, 0, 0))
+        assert ram.read(1) == (1, 1, 0, 0)
+        with pytest.raises(RuntimeError):
+            ram.parity_ok(1)
+
+    def test_validation(self, ram):
+        with pytest.raises(ValueError):
+            ram.write(64, (0,) * 8)
+        with pytest.raises(ValueError):
+            ram.write(0, (0,) * 7)
+        with pytest.raises(ValueError):
+            ram.read(-1)
+
+
+class TestFaults:
+    def test_cell_stuck_at_detected_by_parity(self, ram):
+        ram.write(5, (0,) * 8)
+        ram.inject(CellStuckAt(address=5, bit=2, value=1))
+        assert ram.read(5)[2] == 1
+        assert not ram.parity_ok(5)
+
+    def test_cell_fault_is_address_local(self, ram):
+        ram.write(5, (0,) * 8)
+        ram.write(6, (0,) * 8)
+        ram.inject(CellStuckAt(address=5, bit=2, value=1))
+        assert ram.parity_ok(6)
+
+    def test_unexcited_cell_fault_invisible(self, ram):
+        ram.write(5, (1, 1, 1, 0, 0, 0, 0, 0))
+        ram.inject(CellStuckAt(address=5, bit=0, value=1))
+        assert ram.parity_ok(5)  # stored value already 1
+
+    def test_data_line_fault_hits_every_address(self, ram):
+        ram.write(1, (0,) * 8)
+        ram.write(2, (0,) * 8)
+        ram.inject(DataLineStuckAt(bit=4, value=1))
+        assert not ram.parity_ok(1)
+        assert not ram.parity_ok(2)
+
+    def test_mux_line_fault_hits_one_column_way(self, ram):
+        org = ram.organization
+        ram.inject(MuxLineStuckAt(column=1, bit=0, value=1))
+        for address in range(16):
+            ram.write(address, (0,) * 8)
+            expected_broken = org.split_address(address)[1] == 1
+            assert ram.parity_ok(address) != expected_broken
+
+    def test_coupling_fault_conditional(self, ram):
+        ram.write(8, (1,) + (0,) * 7)   # aggressor bit set
+        ram.write(9, (0,) * 8)
+        ram.inject(
+            CouplingFault(
+                aggressor_address=8, aggressor_bit=0,
+                victim_address=9, victim_bit=3,
+            )
+        )
+        assert ram.read(9)[3] == 1
+        assert not ram.parity_ok(9)
+        # clearing the aggressor disarms the fault
+        ram.write(8, (0,) * 8)
+        assert ram.parity_ok(9)
+
+    def test_clear_faults(self, ram):
+        ram.write(5, (0,) * 8)
+        ram.inject(CellStuckAt(5, 0, 1))
+        ram.clear_faults()
+        assert ram.parity_ok(5)
+
+    def test_invalid_fault_values(self):
+        with pytest.raises(ValueError):
+            CellStuckAt(0, 0, 2)
+        with pytest.raises(ValueError):
+            DataLineStuckAt(0, -1)
+        with pytest.raises(ValueError):
+            MuxLineStuckAt(0, 0, 3)

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.memory.cam import BehavioralCAM
+from repro.memory.faults import CellStuckAt
+from repro.memory.organization import MemoryOrganization
+from repro.memory.rom_mem import BehavioralROM
+
+
+def rom_contents(org):
+    return [
+        tuple((word >> bit) & 1 for bit in range(org.bits))
+        for word in range(org.words)
+    ]
+
+
+class TestROM:
+    def test_reads_programmed_contents(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        rom = BehavioralROM(org, rom_contents(org))
+        for address in range(16):
+            data = rom.read(address)[:4]
+            assert data == tuple((address >> b) & 1 for b in range(4))
+
+    def test_parity_column_valid(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        rom = BehavioralROM(org, rom_contents(org))
+        assert all(rom.parity_ok(a) for a in range(16))
+
+    def test_cell_fault_flagged(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        rom = BehavioralROM(org, rom_contents(org))
+        rom.inject(CellStuckAt(address=0, bit=1, value=1))
+        assert not rom.parity_ok(0)
+        rom.clear_faults()
+        assert rom.parity_ok(0)
+
+    def test_contents_validation(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        with pytest.raises(ValueError):
+            BehavioralROM(org, rom_contents(org)[:-1])
+        bad = rom_contents(org)
+        bad[3] = (1, 0)
+        with pytest.raises(ValueError):
+            BehavioralROM(org, bad)
+
+    def test_address_validation(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        rom = BehavioralROM(org, rom_contents(org))
+        with pytest.raises(ValueError):
+            rom.read(16)
+
+    def test_no_parity_mode(self):
+        org = MemoryOrganization(16, 4, column_mux=2)
+        rom = BehavioralROM(org, rom_contents(org), with_parity=False)
+        assert rom.word_width == 4
+        with pytest.raises(RuntimeError):
+            rom.parity_ok(0)
+
+
+class TestCAM:
+    def test_write_lookup(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        tag = (1, 0, 1, 1, 0, 0)
+        cam.write(3, tag)
+        assert cam.lookup(tag) == 3
+        assert cam.match_lines(tag) == (0, 0, 0, 1, 0, 0, 0, 0)
+
+    def test_miss_returns_none(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        assert cam.lookup((1,) * 6) is None
+
+    def test_invalid_entries_not_matched(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        tag = (0,) * 6
+        cam.write(2, tag)
+        cam.invalidate(2)
+        assert cam.lookup(tag) is None
+
+    def test_priority_on_duplicate_tags(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        tag = (1, 1, 0, 0, 1, 1)
+        cam.write(6, tag)
+        cam.write(2, tag)
+        assert cam.lookup(tag) == 2
+
+    def test_read_path_parity(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        cam.write(1, (1, 0, 0, 1, 0, 1))
+        assert cam.parity_ok(1)
+
+    def test_cell_fault_false_miss_and_parity_flag(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        tag = (1, 0, 1, 0, 1, 0)
+        cam.write(4, tag)
+        cam.inject(CellStuckAt(address=4, bit=0, value=0))
+        assert cam.lookup(tag) is None          # false miss on match port
+        assert not cam.parity_ok(4)             # read path catches it
+
+    def test_cell_fault_false_hit(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        stored = (1, 0, 1, 0, 1, 0)
+        cam.write(4, stored)
+        cam.inject(CellStuckAt(address=4, bit=0, value=0))
+        ghost = (0,) + stored[1:]
+        assert cam.lookup(ghost) == 4           # matches a never-written tag
+
+    def test_entry_count_validation(self):
+        with pytest.raises(ValueError):
+            BehavioralCAM(entries=6, tag_bits=4)
+        with pytest.raises(ValueError):
+            BehavioralCAM(entries=2, tag_bits=4)
+
+    def test_key_width_validation(self):
+        cam = BehavioralCAM(entries=8, tag_bits=6)
+        with pytest.raises(ValueError):
+            cam.match_lines((1, 0))
+        with pytest.raises(ValueError):
+            cam.invalidate(8)

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.m_out_of_n import MOutOfNCode, maximal_code_for_width
+from repro.codes.parity import ParityCode
+from repro.codes.unordered import bitwise_and, covers
+from repro.core.latency import (
+    collision_count,
+    escape_probability,
+    worst_escape_over_blocks,
+)
+from repro.core.mapping import ModAMapping, ParityMapping
+from repro.core.selection import SelectionPolicy, select_code
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+@st.composite
+def code_mn(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=n - 1))
+    return MOutOfNCode(m, n)
+
+
+class TestBitops:
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_int_bits_round_trip(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+
+class TestParityCodeProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=12))
+    def test_encoding_always_even(self, data):
+        code = ParityCode(len(data))
+        assert sum(code.encode(tuple(data))) % 2 == 0
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=10),
+        st.data(),
+    )
+    def test_single_flip_always_detected(self, data, drawn):
+        code = ParityCode(len(data))
+        word = list(code.encode(tuple(data)))
+        position = drawn.draw(
+            st.integers(min_value=0, max_value=len(word) - 1)
+        )
+        word[position] ^= 1
+        assert not code.is_codeword(word)
+
+
+class TestMOutOfNProperties:
+    @given(code_mn(), st.data())
+    @settings(max_examples=60)
+    def test_index_round_trip(self, code, data):
+        index = data.draw(
+            st.integers(min_value=0, max_value=code.cardinality() - 1)
+        )
+        assert code.index_of(code.word_at(index)) == index
+
+    @given(code_mn(), st.data())
+    @settings(max_examples=60)
+    def test_distinct_words_and_is_noncode(self, code, data):
+        # the unordered-code lemma, on random word pairs
+        size = code.cardinality()
+        i = data.draw(st.integers(min_value=0, max_value=size - 1))
+        j = data.draw(st.integers(min_value=0, max_value=size - 1))
+        u, v = code.word_at(i), code.word_at(j)
+        if i != j:
+            merged = bitwise_and(u, v)
+            assert not code.is_codeword(merged)
+            assert covers(u, merged) and covers(v, merged)
+
+    @given(code_mn())
+    @settings(max_examples=40)
+    def test_all_ones_is_never_codeword(self, code):
+        assert not code.is_codeword((1,) * code.n)
+
+
+class TestLatencyProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=600).filter(lambda a: a % 2 == 1),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_collision_count_matches_enumeration(self, i, a, data):
+        m1 = data.draw(st.integers(min_value=0, max_value=(1 << i) - 1))
+        expected = sum(1 for x in range(1 << i) if x % a == m1 % a)
+        assert collision_count(i, a, m1) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=600).filter(lambda a: a % 2 == 1),
+    )
+    @settings(max_examples=80)
+    def test_escape_bound_dominates_every_m1(self, i, a):
+        bound = escape_probability(i, a)
+        worst = max(
+            escape_probability(i, a, m1)
+            for m1 in range(min(1 << i, 2 * a + 1))
+        )
+        assert worst <= bound
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=60)
+    def test_worst_escape_non_increasing(self, k):
+        a = 2 * k + 1
+        assert worst_escape_over_blocks(a + 2, 32) <= worst_escape_over_blocks(
+            a, 32
+        )
+
+
+class TestMappingProperties:
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=2, max_value=9),
+    )
+    @settings(max_examples=40)
+    def test_mod_mapping_indices_dense_and_valid(self, n_bits, r):
+        code = maximal_code_for_width(r)
+        if (code.m, code.n) == (1, 2):
+            return
+        mapping = ModAMapping(code, n_bits)
+        for address in range(1 << n_bits):
+            index = mapping.index(address)
+            assert 0 <= index < code.cardinality()
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=60)
+    def test_parity_mapping_flips_on_single_bit(self, n_bits, data):
+        mapping = ParityMapping(n_bits)
+        address = data.draw(
+            st.integers(min_value=0, max_value=(1 << n_bits) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=n_bits - 1))
+        assert mapping.index(address) != mapping.index(address ^ (1 << bit))
+
+
+class TestSelectionProperties:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=2, max_value=25),
+    )
+    @settings(max_examples=60, deadline=2000)
+    def test_exact_policy_always_meets_target(self, c, neg_exp):
+        from hypothesis import assume
+
+        target = 10.0 ** -neg_exp
+        # below the non-excitation floor the requirement is infeasible
+        # (required_a_for raises); see TestInfeasibleTargets
+        assume(math.log10(0.5) * 64 * c <= -neg_exp)
+        sel = select_code(c, target, policy=SelectionPolicy.EXACT)
+        assert sel.meets_target
+        assert sel.achieved_pndc <= target
+
+    def test_infeasible_target_raises_cleanly(self):
+        with pytest.raises(ValueError):
+            select_code(1, 1e-20, policy=SelectionPolicy.EXACT)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=40, deadline=2000)
+    def test_selected_code_is_cheapest_meeting_spec(self, c, neg_exp):
+        target = 10.0 ** -neg_exp
+        sel = select_code(c, target, policy=SelectionPolicy.EXACT)
+        if sel.mapping_kind == "parity":
+            return
+        # no strictly narrower maximal code meets the spec
+        narrower_r = sel.code.n - 1
+        if narrower_r < 2:
+            return
+        narrower = maximal_code_for_width(narrower_r)
+        cardinality = narrower.cardinality()
+        if (narrower.m, narrower.n) == (1, 2):
+            escape = Fraction(1, 2)
+        else:
+            a = cardinality if cardinality % 2 else cardinality - 1
+            escape = worst_escape_over_blocks(a, 64)
+        assert float(escape) ** c > target

@@ -1,0 +1,120 @@
+import pytest
+
+from repro.circuits.faults import NetStuckAt
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import ModAMapping, ParityMapping, mapping_for_code
+from repro.rom.nor_matrix import CheckedDecoder, NORMatrix
+
+
+class TestNORMatrixBehaviour:
+    def test_single_line_emits_programmed_word(self):
+        rows = [(1, 0, 1), (0, 1, 1), (1, 1, 0)]
+        matrix = NORMatrix(rows)
+        for line, expected in enumerate(rows):
+            vector = [0, 0, 0]
+            vector[line] = 1
+            assert matrix.output(vector) == expected
+
+    def test_no_line_emits_all_ones(self):
+        matrix = NORMatrix([(1, 0), (0, 1)])
+        assert matrix.output((0, 0)) == (1, 1)
+
+    def test_two_lines_emit_bitwise_and(self):
+        rows = [(1, 1, 0, 0), (0, 1, 1, 0)]
+        matrix = NORMatrix(rows)
+        assert matrix.output((1, 1)) == (0, 1, 0, 0)
+
+    def test_sparse_equals_dense(self):
+        rows = [(1, 0, 1), (0, 1, 1), (1, 1, 0), (0, 1, 0)]
+        matrix = NORMatrix(rows)
+        for active in [(0,), (2,), (0, 3), (1, 2, 3), ()]:
+            dense = [1 if i in active else 0 for i in range(4)]
+            assert matrix.output(dense) == matrix.output_for_lines(active)
+
+    def test_from_mapping_programs_codewords(self):
+        mapping = ModAMapping(MOutOfNCode(3, 5), n_bits=4)
+        matrix = NORMatrix.from_mapping(mapping)
+        assert matrix.num_lines == 16
+        assert matrix.width == 5
+        for address in range(16):
+            assert matrix.output_for_lines((address,)) == mapping.codeword(
+                address
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NORMatrix([])
+        with pytest.raises(ValueError):
+            NORMatrix([(1, 0), (1,)])
+        with pytest.raises(ValueError):
+            NORMatrix([(1, 0)]).output((1, 0, 0))
+        with pytest.raises(ValueError):
+            NORMatrix([(1, 0)]).output_for_lines((3,))
+
+
+class TestGateLevelView:
+    def test_gate_level_matches_behavioural(self):
+        from repro.circuits.netlist import Circuit
+
+        rows = [(1, 0, 1), (0, 1, 1), (1, 1, 0), (0, 0, 1)]
+        matrix = NORMatrix(rows)
+        circuit = Circuit("rom")
+        lines = circuit.add_inputs([f"l{i}" for i in range(4)])
+        outs = matrix.append_to_circuit(circuit, lines)
+        for net in outs:
+            circuit.mark_output(net)
+        import itertools
+
+        for vector in itertools.product((0, 1), repeat=4):
+            assert circuit.evaluate(vector) == matrix.output(vector)
+
+    def test_constant_one_column(self):
+        # A column where every row is programmed 1 has no NOR members.
+        matrix = NORMatrix([(1, 1), (1, 0)])
+        from repro.circuits.netlist import Circuit
+
+        circuit = Circuit()
+        lines = circuit.add_inputs(["a", "b"])
+        outs = matrix.append_to_circuit(circuit, lines)
+        for net in outs:
+            circuit.mark_output(net)
+        assert circuit.evaluate((0, 0)) == (1, 1)
+        assert circuit.evaluate((0, 1)) == (1, 0)
+
+
+class TestCheckedDecoder:
+    @pytest.fixture(scope="class")
+    def checked(self):
+        return CheckedDecoder(mapping_for_code(MOutOfNCode(3, 5), 4))
+
+    def test_fault_free_rom_words(self, checked):
+        for address in range(16):
+            assert checked.rom_word(address) == checked.expected_word(address)
+
+    def test_word_lines_one_hot(self, checked):
+        for address in range(16):
+            lines, _ = checked.evaluate(address)
+            assert sum(lines) == 1 and lines[address] == 1
+
+    def test_sa0_fault_emits_all_ones(self, checked):
+        line = checked.tree.root.output_nets[6]
+        _, word = checked.evaluate(6, faults=(NetStuckAt(line, 0),))
+        assert word == (1,) * 5
+
+    def test_sa1_fault_emits_and_of_words(self, checked):
+        line3 = checked.tree.root.output_nets[3]
+        _, word = checked.evaluate(7, faults=(NetStuckAt(line3, 1),))
+        w3 = checked.expected_word(3)
+        w7 = checked.expected_word(7)
+        assert word == tuple(a & b for a, b in zip(w3, w7))
+
+    def test_address_range_validated(self, checked):
+        with pytest.raises(ValueError):
+            checked.evaluate(16)
+
+    def test_parity_mapping_decoder(self):
+        checked = CheckedDecoder(ParityMapping(3))
+        for address in range(8):
+            word = checked.rom_word(address)
+            assert word == ((1, 0) if bin(address).count("1") % 2 == 0
+                            else (0, 1))

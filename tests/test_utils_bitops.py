@@ -1,0 +1,79 @@
+import pytest
+
+from repro.utils.bitops import (
+    all_bit_vectors,
+    bit_slice,
+    bits_to_int,
+    hamming_distance,
+    int_to_bits,
+    parity_of,
+    popcount,
+)
+
+
+class TestPopcountParity:
+    def test_popcount_known(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 30) - 1) == 30
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity_alternates_on_bitflip(self):
+        for value in range(64):
+            for bit in range(6):
+                assert parity_of(value) != parity_of(value ^ (1 << bit))
+
+
+class TestIntBitsRoundTrip:
+    def test_round_trip(self):
+        for width in range(1, 10):
+            for value in range(1 << width):
+                assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_msb_first(self):
+        assert int_to_bits(4, 3) == (1, 0, 0)
+        assert bits_to_int((1, 0, 0)) == 4
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2, 1))
+
+
+class TestBitSlice:
+    def test_full_slice_identity(self):
+        assert bit_slice(0b101101, 6, 0, 6) == 0b101101
+
+    def test_lsb_slice(self):
+        assert bit_slice(0b101101, 6, 0, 3) == 0b101
+
+    def test_mid_slice(self):
+        assert bit_slice(0b110101, 6, 1, 4) == 0b010
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            bit_slice(5, 4, 3, 2)
+        with pytest.raises(ValueError):
+            bit_slice(5, 4, 0, 5)
+
+
+class TestEnumerationAndDistance:
+    def test_all_bit_vectors_count_and_order(self):
+        vectors = list(all_bit_vectors(3))
+        assert len(vectors) == 8
+        assert vectors[0] == (0, 0, 0)
+        assert vectors[5] == (1, 0, 1)
+
+    def test_hamming_distance(self):
+        assert hamming_distance((0, 1, 1), (1, 1, 0)) == 2
+        assert hamming_distance((1, 1), (1, 1)) == 0
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance((1,), (1, 0))

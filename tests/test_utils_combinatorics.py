@@ -1,0 +1,75 @@
+import math
+
+import pytest
+
+from repro.utils.combinatorics import (
+    binomial,
+    central_binomial,
+    smallest_r_for_cardinality,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(0, 20):
+            for k in range(0, n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_paper_code_cardinalities(self):
+        # Every code appearing in Tables 1 and 2.
+        assert binomial(2, 1) == 2
+        assert binomial(3, 2) == 3
+        assert binomial(4, 2) == 6
+        assert binomial(5, 3) == 10
+        assert binomial(7, 4) == 35
+        assert binomial(9, 5) == 126
+        assert binomial(13, 7) == 1716
+        assert binomial(18, 9) == 48620
+
+
+class TestCentralBinomial:
+    def test_small_values(self):
+        assert central_binomial(2) == 2
+        assert central_binomial(3) == 3
+        assert central_binomial(4) == 6
+        assert central_binomial(5) == 10
+
+    def test_equals_floor_and_ceil_weight(self):
+        for r in range(2, 15):
+            assert central_binomial(r) == math.comb(r, r // 2)
+            assert central_binomial(r) == math.comb(r, (r + 1) // 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            central_binomial(-1)
+
+    def test_monotone_in_r(self):
+        values = [central_binomial(r) for r in range(1, 25)]
+        assert values == sorted(values)
+
+
+class TestSmallestR:
+    def test_paper_selections(self):
+        # The r the paper picks for each required cardinality.
+        assert smallest_r_for_cardinality(2) == 2
+        assert smallest_r_for_cardinality(5) == 4
+        assert smallest_r_for_cardinality(9) == 5
+        assert smallest_r_for_cardinality(33) == 7
+        assert smallest_r_for_cardinality(101) == 9
+        assert smallest_r_for_cardinality(1001) == 13
+        assert smallest_r_for_cardinality(32769) == 18
+
+    def test_result_is_minimal(self):
+        for target in (2, 3, 7, 10, 11, 36, 70, 127, 924, 925):
+            r = smallest_r_for_cardinality(target)
+            assert central_binomial(r) >= target
+            assert central_binomial(r - 1) < target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            smallest_r_for_cardinality(0)
