@@ -1,0 +1,54 @@
+"""Bench — `DesignEngine.sweep` throughput (the trade-off hot path).
+
+Measures specs/second over the PAPER_ORGS x requirements grid, serial
+vs thread-pooled, so later performance PRs (caching the selection step,
+batching the area models, process-pool sharding) have a baseline.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_design_engine.py -q``
+"""
+
+import time
+
+from repro.design.engine import DesignEngine
+from repro.design.spec import DesignSpec
+from repro.memory.organization import PAPER_ORGS
+
+REQUIREMENTS = [(2, 1e-9), (10, 1e-9), (10, 1e-15), (20, 1e-9), (40, 1e-9)]
+
+
+def sweep_grid(workers=None):
+    engine = DesignEngine()
+    specs = DesignSpec.grid(PAPER_ORGS, REQUIREMENTS)
+    return engine.sweep(specs, workers=workers)
+
+
+def test_bench_sweep_serial(benchmark):
+    reports = benchmark(sweep_grid)
+    assert len(reports) == len(PAPER_ORGS) * len(REQUIREMENTS)
+
+
+def test_bench_sweep_threaded(benchmark):
+    reports = benchmark(lambda: sweep_grid(workers=4))
+    assert len(reports) == len(PAPER_ORGS) * len(REQUIREMENTS)
+
+
+def test_throughput_report():
+    """Print specs/sec serial vs workers=4 (informational)."""
+    specs = DesignSpec.grid(PAPER_ORGS, REQUIREMENTS)
+    engine = DesignEngine()
+    for workers in (None, 2, 4):
+        start = time.perf_counter()
+        reports = engine.sweep(specs, workers=workers)
+        elapsed = time.perf_counter() - start
+        assert len(reports) == len(specs)
+        print(
+            f"\nsweep workers={workers or 1}: "
+            f"{len(specs) / elapsed:.1f} specs/sec "
+            f"({elapsed * 1000:.1f} ms for {len(specs)} specs)"
+        )
+
+
+def test_parallel_results_match_serial():
+    specs = DesignSpec.grid(PAPER_ORGS, REQUIREMENTS[:3])
+    engine = DesignEngine()
+    assert engine.sweep(specs) == engine.sweep(specs, workers=4)

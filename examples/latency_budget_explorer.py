@@ -14,7 +14,7 @@ afford 12 % area — what detection latency does that buy me?"
 Run: ``python examples/latency_budget_explorer.py``
 """
 
-from repro import PAPER_ORGS, TradeoffExplorer
+from repro import PAPER_ORGS, DesignEngine, DesignSpec, TradeoffExplorer
 from repro.core.safety import SafetyModel
 from repro.experiments.common import format_table
 
@@ -69,6 +69,21 @@ def main() -> None:
         f"undetectable faults/hour vs "
         f"{safety.rate_unprotected_decoders():.3g} with unchecked decoders"
     )
+
+    # The same exploration through the unified design API: one spec grid,
+    # one parallel sweep, structured reports (report.to_json() for tools).
+    engine = DesignEngine()
+    grid = DesignSpec.grid(
+        PAPER_ORGS, [(c, pndc) for c in (2, 10, 40)]
+    )
+    reports = engine.sweep(grid, workers=4)
+    print("\nDesignEngine.sweep over the same grid:")
+    for report in reports:
+        print(
+            f"  {report.spec.organization.label():<6} c={report.spec.c:<3d}"
+            f" -> {report.row.code:<12s} "
+            f"area {report.area.stdcell_overhead_percent:.2f} %"
+        )
 
 
 if __name__ == "__main__":

@@ -2,34 +2,40 @@
 
 You have an embedded RAM and an on-line test requirement: "any decoder
 fault must be flagged within 10 clock cycles, with escape probability at
-most 1e-9".  The library selects the unordered code (§III.2), builds the
-figure-3 self-checking memory, and demonstrates detection.
+most 1e-9".  Declare the problem as a :class:`repro.DesignSpec`, hand it
+to the :class:`repro.DesignEngine`: it selects the unordered code
+(§III.2), builds the figure-3 self-checking memory and reports the
+area/latency trade-off — as text or JSON.
 
 Run: ``python examples/quickstart.py``
 """
 
-from repro import MemoryOrganization, SelfCheckingMemory, select_code
+from repro import DesignEngine, DesignSpec
 from repro.circuits.faults import NetStuckAt
 from repro.memory.faults import CellStuckAt
 
 
 def main() -> None:
-    # 1. State the requirement and let the paper's algorithm pick the code.
-    selection = select_code(c=10, pndc_target=1e-9)
-    print(f"selected code : {selection.code_name} (mapping modulus a = "
-          f"{selection.a_final})")
-    print(f"guarantee     : Pndc = {selection.achieved_pndc:.3g} after "
-          f"{selection.c} cycles\n")
+    # 1. Declare the design problem: a 2K x 16 RAM; decoder faults must
+    #    be flagged within 10 cycles with escape probability <= 1e-9.
+    spec = DesignSpec(words=2048, bits=16, column_mux=8, c=10, pndc=1e-9)
+    engine = DesignEngine()
 
-    # 2. Build the self-checking memory (figure 3) around a 2K x 16 RAM.
-    org = MemoryOrganization(words=2048, bits=16, column_mux=8)
-    memory = SelfCheckingMemory.from_selection(org, selection)
-    print(f"memory        : {org.label()}, row decoder p={org.p} bits, "
-          f"column decoder s={org.s} bits")
-    print(f"area overhead : {memory.area_overhead_percent():.1f} % "
-          f"(std-cell model, decoder checking)\n")
+    # 2. Evaluate it: the structured report carries selections, the
+    #    guarantees they buy and the area bill under both models.
+    report = engine.evaluate(spec)
+    print(f"selected code : {report.row.code} (mapping modulus a = "
+          f"{report.row.a_final})")
+    print(f"guarantee     : Pndc = {report.row.pndc_achieved:.3g} after "
+          f"{report.row.c} cycles")
+    print(f"area overhead : {report.area.stdcell_overhead_percent:.1f} % "
+          f"(std-cell model, decoder checking)")
+    print(f"(machine-readable: report.to_json() -> "
+          f"{len(report.to_json())} bytes)\n")
 
-    # 3. Normal operation: writes and checked reads.
+    # 3. Build the self-checking memory (figure 3) and use it.
+    memory = engine.build(spec)
+    org = spec.organization
     memory.write(0x2A, (1, 0, 1, 1, 0, 0, 1, 0) * 2)
     result = memory.read(0x2A)
     assert result.data == (1, 0, 1, 1, 0, 0, 1, 0) * 2
@@ -53,6 +59,12 @@ def main() -> None:
                   f"(two word lines merged, ROM word left the code)")
             break
     memory.clear_faults()
+
+    # 6. Batch exploration: sweep the trade-off grid in parallel.
+    grid = DesignSpec.grid([org], [(2, 1e-9), (10, 1e-9), (40, 1e-9)])
+    for point in engine.sweep(grid, workers=3):
+        print(f"sweep: c={point.spec.c:<3d} -> {point.row.code:<12s} "
+              f"area {point.area.stdcell_overhead_percent:.2f} %")
 
 
 if __name__ == "__main__":

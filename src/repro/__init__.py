@@ -4,21 +4,33 @@
 Public API highlights
 ---------------------
 
-Quick path (the paper's design flow)::
+Quick path (the paper's design flow, via the unified design API)::
 
-    from repro import select_code, SelfCheckingMemory, MemoryOrganization
+    from repro import DesignSpec, DesignEngine
 
-    org = MemoryOrganization(words=2048, bits=16, column_mux=8)
-    # tolerate detection within 10 cycles, escape probability <= 1e-9
-    memory = SelfCheckingMemory.from_requirements(org, c=10, pndc=1e-9)
+    # declare the problem: a 2K x 16 RAM that must flag decoder faults
+    # within 10 cycles with escape probability <= 1e-9
+    spec = DesignSpec(words=2048, bits=16, c=10, pndc=1e-9)
+
+    engine = DesignEngine()
+    report = engine.evaluate(spec)   # structured DesignReport
+    print(report.render())           # ...or report.to_json()
+
+    memory = engine.build(spec)      # a working figure-3 memory
     memory.write(42, (1, 0) * 8)
-    result = memory.read(42)
-    assert not result.error_detected
+    assert not memory.read(42).error_detected
+
+Batch exploration: ``engine.sweep(DesignSpec.grid(...), workers=4)``.
+The pre-1.1 entry points (``SelfCheckingMemory.from_requirements``,
+``select_code`` + ``from_selection``, ``design_report``) remain as thin
+shims over the same machinery.
 
 Layer map
 ---------
 
 =================  ========================================================
+``repro.design``   the unified front door: DesignSpec -> DesignEngine ->
+                   DesignReport, plus the code/checker/mapping registries
 ``repro.codes``    parity / Berger / m-out-of-n / two-rail / Hamming codes
 ``repro.circuits`` gate-level netlists, stuck-at faults, simulation
 ``repro.decoder``  the §III.2 decoder tree and its analytic fault analysis
@@ -58,16 +70,20 @@ from repro.core.selection import (
     select_zero_latency_code,
 )
 from repro.core.tradeoff import TradeoffExplorer
+from repro.design import DesignEngine, DesignReport, DesignSpec
 from repro.memory.organization import (
     PAPER_ORGS,
     MemoryOrganization,
     paper_org,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "DesignSpec",
+    "DesignEngine",
+    "DesignReport",
     "MOutOfNCode",
     "maximal_code_for_width",
     "ParityCode",

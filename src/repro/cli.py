@@ -1,114 +1,269 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands mirror the experiment regenerators plus the designer-facing
-flows (code selection, full design reports).  Everything prints plain
-text and needs no network or data files.
+Redesigned on top of the :mod:`repro.design` subsystem: every command
+supports ``--json`` for machine-readable output (and ``--out PATH`` to
+write it to a file), ``sweep`` drives ``DesignEngine.sweep`` across a
+requirement grid, ``registry`` lists the pluggable families, and the ten
+experiment regenerators are generated from one table instead of ten
+copy-pasted handlers.  Everything runs offline — no network, no data
+files.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import importlib
+import io
+import json
 import sys
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional
 
-from repro.core.report import design_report
+from repro import __version__
 from repro.core.selection import SelectionPolicy, select_code
-from repro.memory.organization import MemoryOrganization
+from repro.design.engine import DesignEngine
+from repro.design.spec import CHECKER_STYLES, DesignSpec
+from repro.memory.organization import PAPER_ORGS, MemoryOrganization, paper_org
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    """Print ``text`` and/or write it to ``--out``."""
+    out_path = getattr(args, "out", None)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {out_path}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the output to a file"
+    )
+
+
+def _add_policy_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in SelectionPolicy],
+        default=SelectionPolicy.EXACT.value,
+    )
+
+
+# -- designer-facing commands ------------------------------------------------
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
     policy = SelectionPolicy(args.policy)
     selection = select_code(args.cycles, args.pndc, policy=policy)
-    print(selection.describe())
+    if args.json:
+        _emit(args, json.dumps(selection.to_dict(), indent=2))
+    else:
+        _emit(args, selection.describe())
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    org = MemoryOrganization(
-        words=args.words, bits=args.bits, column_mux=args.mux
+    spec = DesignSpec(
+        words=args.words,
+        bits=args.bits,
+        column_mux=args.mux,
+        c=args.cycles,
+        pndc=args.pndc,
+        policy=args.policy,
+        column_zero_latency=not args.shared_column_code,
+        checker_style=args.checker_style,
+        decoder_style=args.decoder_style,
     )
-    print(
-        design_report(
-            org,
-            c=args.cycles,
-            pndc=args.pndc,
-            policy=SelectionPolicy(args.policy),
-            column_zero_latency=not args.shared_column_code,
+    report = DesignEngine().evaluate(spec)
+    _emit(args, report.to_json(indent=2) if args.json else report.render())
+    return 0
+
+
+def _parse_org(text: str) -> MemoryOrganization:
+    """An organisation: a paper label ('16x2K') or 'WORDSxBITSxMUX'."""
+    try:
+        return paper_org(text)
+    except KeyError:
+        pass
+    parts = text.lower().split("x")
+    if len(parts) in (2, 3):
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError:
+            numbers = None
+        if numbers:
+            words, bits = numbers[0], numbers[1]
+            mux = numbers[2] if len(numbers) == 3 else 8
+            if bits > words:
+                # almost certainly a transposed paper-style label
+                # ('16x2048'): the labels read BITSxWORDS, this form
+                # reads WORDSxBITS — refuse rather than size a
+                # 16-word x 2048-bit memory nobody meant
+                raise argparse.ArgumentTypeError(
+                    f"{text!r} reads as {words} words x {bits} bits; "
+                    f"the numeric form is WORDSxBITS[xMUX] (did you "
+                    f"mean '{bits}x{words}'?)"
+                )
+            return MemoryOrganization(
+                words=words, bits=bits, column_mux=mux
+            )
+    raise argparse.ArgumentTypeError(
+        f"organisation {text!r} is neither a paper label "
+        f"({[o.label() for o in PAPER_ORGS]}) nor WORDSxBITS[xMUX]"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    organizations = args.org or list(PAPER_ORGS)
+    requirements = [
+        (c, pndc) for c in args.cycles for pndc in args.pndc
+    ]
+    specs = DesignSpec.grid(
+        organizations,
+        requirements,
+        policy=args.policy,
+        column_zero_latency=not args.shared_column_code,
+    )
+    reports = DesignEngine().sweep(
+        specs, workers=args.workers, executor=args.executor
+    )
+    if args.json:
+        _emit(
+            args,
+            json.dumps([report.to_dict() for report in reports], indent=2),
         )
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            report.spec.organization.label(),
+            report.spec.c,
+            f"{report.spec.pndc:g}",
+            report.row.code,
+            report.row.a_final,
+            f"{float(report.row.escape_per_cycle):.4g}",
+            f"{report.area.stdcell_overhead_percent:.2f}",
+        ]
+        for report in reports
+    ]
+    table = format_table(
+        ["memory", "c", "Pndc", "row code", "a", "escape/cycle", "area %"],
+        rows,
+    )
+    _emit(
+        args,
+        f"design sweep — {len(reports)} specs "
+        f"(workers={args.workers or 1})\n" + table,
     )
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.experiments import table1
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.design.registry import CHECKERS, CODES, DECODERS, MAPPINGS
 
-    table1.main()
+    families = {
+        "codes": CODES.names(),
+        "checkers": CHECKERS.names(),
+        "mappings": MAPPINGS.names(),
+        "decoders": DECODERS.names(),
+    }
+    if args.json:
+        _emit(args, json.dumps(families, indent=2))
+    else:
+        lines = [
+            f"{family:<9}: {', '.join(names)}"
+            for family, names in families.items()
+        ]
+        _emit(args, "\n".join(lines))
     return 0
 
 
-def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.experiments import table2
-
-    table2.main()
-    return 0
+# -- experiment regenerators (one table, not ten handlers) -------------------
 
 
-def _cmd_safety(args: argparse.Namespace) -> int:
-    from repro.experiments import safety_example
+@dataclass(frozen=True)
+class ExperimentCommand:
+    """One CLI subcommand regenerating a table/figure of the paper."""
 
-    safety_example.main()
-    return 0
+    name: str
+    module: str
+    help: str
+    #: name of a module-level ``generate_*`` returning dataclass rows,
+    #: exposed as structured data under ``--json``
+    rows_attr: Optional[str] = None
 
-
-def _cmd_area_example(args: argparse.Namespace) -> int:
-    from repro.experiments import area_example
-
-    area_example.main()
-    return 0
-
-
-def _cmd_structure(args: argparse.Namespace) -> int:
-    from repro.experiments import structure
-
-    structure.main()
-    return 0
-
-
-def _cmd_latency(args: argparse.Namespace) -> int:
-    from repro.experiments import latency_empirical
-
-    latency_empirical.main()
-    return 0
-
-
-def _cmd_ablations(args: argparse.Namespace) -> int:
-    from repro.experiments import ablations
-
-    ablations.main()
-    return 0
+    def run(self, args: argparse.Namespace) -> int:
+        module = importlib.import_module(self.module)
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        text = buffer.getvalue()
+        if args.json:
+            payload = {"command": self.name, "output": text}
+            if self.rows_attr is not None:
+                payload["rows"] = [
+                    asdict(row) for row in getattr(module, self.rows_attr)()
+                ]
+            _emit(args, json.dumps(payload, indent=2))
+        else:
+            _emit(args, text)
+        return 0
 
 
-def _cmd_ecc(args: argparse.Namespace) -> int:
-    from repro.experiments import ecc_baseline
+EXPERIMENTS = (
+    ExperimentCommand(
+        "table1", "repro.experiments.table1", "regenerate Table 1",
+        rows_attr="generate_table1",
+    ),
+    ExperimentCommand(
+        "table2", "repro.experiments.table2", "regenerate Table 2",
+        rows_attr="generate_table2",
+    ),
+    ExperimentCommand(
+        "safety", "repro.experiments.safety_example",
+        "regenerate the SII safety example",
+    ),
+    ExperimentCommand(
+        "area-example", "repro.experiments.area_example",
+        "regenerate the SIV example",
+    ),
+    ExperimentCommand(
+        "structure", "repro.experiments.structure",
+        "verify the figure-3 structure",
+    ),
+    ExperimentCommand(
+        "latency", "repro.experiments.latency_empirical",
+        "empirical latency validation",
+    ),
+    ExperimentCommand(
+        "ablations", "repro.experiments.ablations",
+        "odd-a and unordered-code ablations",
+    ),
+    ExperimentCommand(
+        "ecc-baseline", "repro.experiments.ecc_baseline",
+        "SEC-DED baseline comparison",
+    ),
+    ExperimentCommand(
+        "decoder-style", "repro.experiments.decoder_style",
+        "single-level vs multilevel decoder comparison",
+    ),
+    ExperimentCommand(
+        "figures", "repro.experiments.figures",
+        "ASCII trade-off and survival curves",
+    ),
+)
 
-    ecc_baseline.main()
-    return 0
 
-
-def _cmd_decoder_style(args: argparse.Namespace) -> int:
-    from repro.experiments import decoder_style
-
-    decoder_style.main()
-    return 0
-
-
-def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.experiments import figures
-
-    figures.main()
-    return 0
+# -- parser ------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Self-Checking Memory Design' (DATE 1995)."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     select = sub.add_parser(
@@ -126,11 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.add_argument("--cycles", "-c", type=int, required=True)
     select.add_argument("--pndc", "-p", type=float, required=True)
-    select.add_argument(
-        "--policy",
-        choices=[p.value for p in SelectionPolicy],
-        default=SelectionPolicy.EXACT.value,
-    )
+    _add_policy_option(select)
+    _add_output_options(select)
     select.set_defaults(func=_cmd_select)
 
     report = sub.add_parser(
@@ -141,37 +296,62 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--mux", type=int, default=8)
     report.add_argument("--cycles", "-c", type=int, required=True)
     report.add_argument("--pndc", "-p", type=float, required=True)
-    report.add_argument(
-        "--policy",
-        choices=[p.value for p in SelectionPolicy],
-        default=SelectionPolicy.EXACT.value,
-    )
+    _add_policy_option(report)
     report.add_argument(
         "--shared-column-code",
         action="store_true",
         help="use the row code on the column decoder (tables' convention) "
         "instead of a zero-latency column mapping",
     )
+    report.add_argument(
+        "--checker-style", choices=CHECKER_STYLES, default="behavioural"
+    )
+    report.add_argument("--decoder-style", default="tree")
+    _add_output_options(report)
     report.set_defaults(func=_cmd_report)
 
-    for name, func, help_text in (
-        ("table1", _cmd_table1, "regenerate Table 1"),
-        ("table2", _cmd_table2, "regenerate Table 2"),
-        ("safety", _cmd_safety, "regenerate the SII safety example"),
-        ("area-example", _cmd_area_example, "regenerate the SIV example"),
-        ("structure", _cmd_structure, "verify the figure-3 structure"),
-        ("latency", _cmd_latency, "empirical latency validation"),
-        ("ablations", _cmd_ablations, "odd-a and unordered-code ablations"),
-        ("ecc-baseline", _cmd_ecc, "SEC-DED baseline comparison"),
-        (
-            "decoder-style",
-            _cmd_decoder_style,
-            "single-level vs multilevel decoder comparison",
-        ),
-        ("figures", _cmd_figures, "ASCII trade-off and survival curves"),
-    ):
-        cmd = sub.add_parser(name, help=help_text)
-        cmd.set_defaults(func=func)
+    sweep = sub.add_parser(
+        "sweep",
+        help="batch design reports over organisations x requirements",
+    )
+    sweep.add_argument(
+        "--org",
+        action="append",
+        type=_parse_org,
+        metavar="LABEL|WxBxM",
+        help="memory organisation (repeatable); default: the three "
+        "paper RAMs",
+    )
+    sweep.add_argument(
+        "--cycles", "-c", action="append", type=int, required=True,
+        help="latency budget in cycles (repeatable)",
+    )
+    sweep.add_argument(
+        "--pndc", "-p", action="append", type=float, required=True,
+        help="escape-probability target (repeatable)",
+    )
+    _add_policy_option(sweep)
+    sweep.add_argument("--shared-column-code", action="store_true")
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel evaluation workers (default: serial)",
+    )
+    sweep.add_argument(
+        "--executor", choices=("thread", "process"), default="thread"
+    )
+    _add_output_options(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    registry = sub.add_parser(
+        "registry", help="list pluggable codes/checkers/mappings/decoders"
+    )
+    _add_output_options(registry)
+    registry.set_defaults(func=_cmd_registry)
+
+    for entry in EXPERIMENTS:
+        cmd = sub.add_parser(entry.name, help=entry.help)
+        _add_output_options(cmd)
+        cmd.set_defaults(func=entry.run)
 
     return parser
 
@@ -179,7 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 1
+    except Exception as exc:  # argparse exits are SystemExit, not caught
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -266,8 +266,12 @@ def mapping_for_code(
 ) -> AddressMapping:
     """The paper's mapping for a selected code.
 
-    1-out-of-2 gets the parity mapping; everything else the mod-a mapping.
+    1-out-of-2 gets the parity mapping, other m-out-of-n codes the mod-a
+    mapping, plugin codes whatever their registered kind names.  Kept
+    here as the historical entry point; the dispatch itself lives in
+    :mod:`repro.design.registry` (imported lazily — the design package
+    imports this module at load time).
     """
-    if (code.m, code.n) == (1, 2):
-        return ParityMapping(n_bits)
-    return ModAMapping(code, n_bits, complete=complete)
+    from repro.design.registry import mapping_for_code as registry_lookup
+
+    return registry_lookup(code, n_bits, complete=complete)

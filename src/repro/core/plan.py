@@ -20,11 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.area.stdcell import StdCellAreaModel
-from repro.core.mapping import (
-    AddressMapping,
-    IdentityMapping,
-    mapping_for_code,
-)
+from repro.core.mapping import AddressMapping
 from repro.core.selection import (
     CodeSelection,
     SelectionPolicy,
@@ -60,9 +56,9 @@ class MemoryCodePlan:
 
     @staticmethod
     def _mapping(selection: CodeSelection, n_bits: int) -> AddressMapping:
-        if selection.mapping_kind == "identity":
-            return IdentityMapping(selection.code, n_bits)
-        return mapping_for_code(selection.code, n_bits)
+        from repro.design.registry import build_mapping
+
+        return build_mapping(selection.mapping_kind, selection.code, n_bits)
 
     def overhead_percent(
         self, model: Optional[StdCellAreaModel] = None

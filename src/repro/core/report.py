@@ -1,55 +1,21 @@
 """Design report generation — one human-readable page per sized design.
 
-Turns a (memory organisation, requirement) pair into the report a design
-review would want: selected codes, the guarantees they buy (per-cycle
-escape, Pndc at the required c, expected and quantile latencies), the
-area bill under both models, and the §II system-safety consequence.
+Historical entry point, kept as a thin wrapper: the report itself is now
+the structured :class:`repro.design.report.DesignReport` produced by
+:class:`repro.design.engine.DesignEngine`; this function renders its
+text form.  Prefer ``DesignEngine().evaluate(spec)`` for anything that
+wants the numbers rather than the page.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from io import StringIO
 from typing import Optional
 
-from repro.area.model import PaperAreaModel
-from repro.area.stdcell import StdCellAreaModel
-from repro.core.latency import (
-    detection_quantile,
-    expected_detection_cycles,
-)
-from repro.core.plan import MemoryCodePlan, plan_memory_codes
-from repro.core.safety import SafetyModel
+from repro.core.plan import MemoryCodePlan
 from repro.core.selection import SelectionPolicy
 from repro.memory.organization import MemoryOrganization
 
 __all__ = ["design_report"]
-
-
-def _latency_lines(out: StringIO, selection) -> None:
-    escape = selection.achieved_escape
-    if escape == 0:
-        out.write("    detection latency     : 0 cycles (every fault)\n")
-        return
-    out.write(
-        f"    escape per cycle      : {float(escape):.4g} "
-        f"(= {escape})\n"
-    )
-    out.write(
-        f"    Pndc at c={selection.c:<4d}        : "
-        f"{selection.achieved_pndc:.3g} "
-        f"({'meets' if selection.meets_target else 'MISSES'} "
-        f"{selection.pndc_target:g})\n"
-    )
-    out.write(
-        f"    expected detection    : "
-        f"{expected_detection_cycles(escape):.2f} cycles\n"
-    )
-    if escape < 1:
-        out.write(
-            f"    99.9% detection       : "
-            f"<= {detection_quantile(Fraction(escape), 0.999)} cycles\n"
-        )
 
 
 def design_report(
@@ -62,68 +28,23 @@ def design_report(
     decoder_area_fraction: float = 0.1,
     plan: Optional[MemoryCodePlan] = None,
 ) -> str:
-    """Render the full design report as plain text."""
-    plan = plan or plan_memory_codes(
-        organization, c, pndc, policy=policy,
+    """Render the full design report as plain text.
+
+    Thin wrapper over ``DesignEngine().evaluate(spec).render()``; a
+    caller-supplied ``plan`` overrides the sizing step (table sweeps).
+    """
+    from repro.design.engine import DesignEngine
+    from repro.design.spec import DesignSpec
+
+    spec = DesignSpec.for_organization(
+        organization,
+        c=c,
+        pndc=pndc,
+        policy=policy,
         column_zero_latency=column_zero_latency,
     )
-    std = StdCellAreaModel()
-    analytic = PaperAreaModel()
-    out = StringIO()
-
-    out.write("self-checking memory design report\n")
-    out.write("==================================\n\n")
-    out.write(f"memory           : {organization.label()} "
-              f"({organization.words} words x {organization.bits} bits, "
-              f"1-out-of-{organization.column_mux} column mux)\n")
-    out.write(f"address split    : n={organization.n} = p={organization.p}"
-              f" (row) + s={organization.s} (column)\n")
-    out.write(f"requirement      : detect decoder faults within c={c} "
-              f"cycles, Pndc <= {pndc:g} [{policy.value} sizing]\n\n")
-
-    out.write("row decoder check\n")
-    out.write(f"    code                  : {plan.row.code_name} "
-              f"(mapping '{plan.row.mapping_kind}', a={plan.row.a_final})\n")
-    out.write(f"    ROM                   : {1 << organization.p} lines x "
-              f"{plan.r_row} bits\n")
-    _latency_lines(out, plan.row)
-    out.write("\ncolumn decoder check\n")
-    out.write(f"    code                  : {plan.column.code_name} "
-              f"(mapping '{plan.column.mapping_kind}', "
-              f"a={plan.column.a_final})\n")
-    out.write(f"    ROM                   : {1 << organization.s} lines x "
-              f"{plan.r_column} bits\n")
-    _latency_lines(out, plan.column)
-
-    std_pct = plan.overhead_percent(std)
-    breakdown = analytic.breakdown(
-        organization, r_row=plan.r_row, r_column=plan.r_column
-    )
-    out.write("\narea bill\n")
-    out.write(f"    decoder check (std-cell model) : {std_pct:.2f} % of the "
-              f"RAM macro\n")
-    out.write(f"    decoder check (analytic, k=0.3): "
-              f"{100 * breakdown.decoder_check:.2f} %\n")
-    out.write(f"    data parity bit                : "
-              f"{100 * breakdown.parity_bit:.2f} %\n")
-    out.write(f"    parity checker                 : "
-              f"{100 * breakdown.parity_checker:.2f} %\n")
-    out.write(f"    total (analytic)               : "
-              f"{100 * breakdown.total:.2f} %\n")
-
-    safety = SafetyModel(
+    engine = DesignEngine(
         fault_rate_per_hour=fault_rate_per_hour,
         decoder_area_fraction=decoder_area_fraction,
     )
-    residual = safety.rate_with_scheme(plan.row.achieved_pndc)
-    baseline = safety.rate_unprotected_decoders()
-    out.write("\nsystem safety (SII model)\n")
-    out.write(f"    memory fault rate              : "
-              f"{fault_rate_per_hour:g} /h, decoders "
-              f"{100 * decoder_area_fraction:.0f} % of area\n")
-    out.write(f"    undetectable-fault rate        : {residual:.3g} /h "
-              f"(vs {baseline:.3g} /h with unchecked decoders)\n")
-    improvement = safety.improvement_factor(plan.row.achieved_pndc)
-    out.write(f"    improvement                    : "
-              f"x{improvement:.3g}\n")
-    return out.getvalue()
+    return engine.evaluate(spec, plan=plan).render()

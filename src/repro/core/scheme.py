@@ -17,11 +17,15 @@ circuits (decoder/ROM stuck-ats) or behaviourally on the array
 (:mod:`repro.memory.faults`), and the campaign driver in
 :mod:`repro.faultsim` measures detection latency end to end.
 
-The scheme can be built two ways:
+The scheme can be built three ways:
 
-* :meth:`SelfCheckingMemory.from_requirements` — the paper's flow: give
-  the tolerated detection latency ``c`` and escape probability ``Pndc``,
-  the code is selected per §III.2;
+* ``DesignEngine.build(DesignSpec(...))`` — the canonical front door
+  (:mod:`repro.design`), which also sizes the column decoder
+  independently;
+* :meth:`SelfCheckingMemory.from_requirements` — the historical
+  shortcut for the paper's flow: give the tolerated detection latency
+  ``c`` and escape probability ``Pndc``, the code is selected per
+  §III.2 (kept as a thin shim over the same machinery);
 * direct construction with explicit codes, for table sweeps and
   ablations.
 """
@@ -33,9 +37,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.area.stdcell import StdCellAreaModel
 from repro.checkers.base import indication_valid
-from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.checkers.parity_checker import ParityChecker
-from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import AddressMapping, mapping_for_code
 from repro.core.selection import (
     CodeSelection,
@@ -87,7 +89,13 @@ class SelfCheckingMemory:
         row_mapping: AddressMapping,
         column_mapping: AddressMapping,
         structural_checkers: bool = False,
+        decoder_style: str = "tree",
     ):
+        # Checkers and decoder styles resolve through the design
+        # registries, so plugin codes work without edits here.  Imported
+        # lazily: repro.design imports this module at package-load time.
+        from repro.design.registry import checker_for, decoder_for
+
         if row_mapping.n_bits != organization.p:
             raise ValueError(
                 f"row mapping covers {row_mapping.n_bits} bits, "
@@ -100,29 +108,31 @@ class SelfCheckingMemory:
             )
         self.organization = organization
         self.ram = BehavioralRAM(organization, with_parity=True)
-        self.row = CheckedDecoder(row_mapping, name="row")
-        self.column = CheckedDecoder(column_mapping, name="col")
-        self.row_checker = self._checker_for(row_mapping, structural_checkers)
-        self.column_checker = self._checker_for(
-            column_mapping, structural_checkers
+        self.row = CheckedDecoder(
+            row_mapping,
+            name="row",
+            decoder=decoder_for(decoder_style, row_mapping.n_bits, "row_tree"),
+        )
+        self.column = CheckedDecoder(
+            column_mapping,
+            name="col",
+            decoder=decoder_for(
+                decoder_style, column_mapping.n_bits, "col_tree"
+            ),
+        )
+        self.row_checker = checker_for(
+            row_mapping, structural=structural_checkers
+        )
+        self.column_checker = checker_for(
+            column_mapping, structural=structural_checkers
         )
         self.parity_checker = ParityChecker(organization.bits + 1)
+        #: the CodeSelection this memory was sized from, when built via
+        #: from_requirements / from_selection / DesignEngine.build
+        self.selection: Optional[CodeSelection] = None
         #: structural faults active on the row / column checked decoders
         self.row_faults: list = []
         self.column_faults: list = []
-
-    @staticmethod
-    def _checker_for(mapping: AddressMapping, structural: bool):
-        code = getattr(mapping, "code", None)
-        if isinstance(code, MOutOfNCode):
-            return MOutOfNChecker(code.m, code.n, structural=structural)
-        # Berger-style mappings (ablations) fall back to membership checks.
-        from repro.checkers.berger_checker import BergerChecker
-        from repro.core.mapping import TruncatedBergerMapping
-
-        if isinstance(mapping, TruncatedBergerMapping):
-            return BergerChecker(mapping.info_bits)
-        raise TypeError(f"no checker known for mapping {mapping!r}")
 
     @classmethod
     def from_requirements(
@@ -133,7 +143,12 @@ class SelfCheckingMemory:
         policy: SelectionPolicy = SelectionPolicy.EXACT,
         structural_checkers: bool = False,
     ) -> "SelfCheckingMemory":
-        """The paper's flow: latency requirement in, sized scheme out."""
+        """The paper's flow: latency requirement in, sized scheme out.
+
+        Deprecated in favour of
+        ``repro.design.DesignEngine().build(DesignSpec(...))``, which
+        adds the zero-latency column option and JSON-able reporting.
+        """
         selection = select_code(c, pndc, policy=policy)
         return cls.from_selection(
             organization, selection, structural_checkers=structural_checkers

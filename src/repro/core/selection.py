@@ -90,6 +90,22 @@ class CodeSelection:
     def code_name(self) -> str:
         return self.code.name
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary (exact escape carried as a fraction string)."""
+        return {
+            "c": self.c,
+            "pndc_target": self.pndc_target,
+            "policy": self.policy.value,
+            "a_required": self.a_required,
+            "code": self.code_name,
+            "a_final": self.a_final,
+            "mapping_kind": self.mapping_kind,
+            "rom_width": self.rom_width,
+            "escape_per_cycle": str(self.achieved_escape),
+            "pndc_achieved": self.achieved_pndc,
+            "meets_target": self.meets_target,
+        }
+
     def describe(self) -> str:
         return (
             f"c={self.c}, Pndc<={self.pndc_target:g} [{self.policy.value}] "

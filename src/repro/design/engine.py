@@ -1,0 +1,180 @@
+"""`DesignEngine` — the canonical front door of the library.
+
+One object owns the paper's whole design flow::
+
+    spec   = DesignSpec(words=2048, bits=16, c=10, pndc=1e-9)
+    engine = DesignEngine()
+    memory = engine.build(spec)       # a working SelfCheckingMemory
+    report = engine.evaluate(spec)    # a structured DesignReport
+    grid   = engine.sweep(specs, workers=4)   # parallel exploration
+
+``build`` assembles the figure-3 scheme through the registries (so
+plugin codes work), ``evaluate`` produces the machine-readable
+:class:`~repro.design.report.DesignReport`, and ``sweep`` batches
+evaluations over many specs with :mod:`concurrent.futures` — the
+trade-off-exploration hot path.
+"""
+
+from __future__ import annotations
+
+from concurrent import futures
+from typing import Iterable, List, Optional, Sequence
+
+from repro.area.model import PaperAreaModel
+from repro.area.stdcell import StdCellAreaModel
+from repro.core.plan import MemoryCodePlan, plan_memory_codes
+from repro.core.safety import SafetyModel
+from repro.core.scheme import SelfCheckingMemory
+from repro.core.selection import (
+    evaluate_code,
+    select_zero_latency_code,
+)
+from repro.design.report import (
+    AreaReport,
+    DesignReport,
+    SafetyReport,
+    decoder_check_report,
+)
+from repro.design.spec import DesignSpec
+
+__all__ = ["DesignEngine"]
+
+
+class DesignEngine:
+    """Executes the design flow: plan, build, evaluate, sweep.
+
+    The engine carries the evaluation context that is *not* part of the
+    design problem itself: the two area models and the §II safety
+    parameters.  Specs stay pure data; engines stay cheap to construct.
+    """
+
+    def __init__(
+        self,
+        std_model: Optional[StdCellAreaModel] = None,
+        analytic_model: Optional[PaperAreaModel] = None,
+        fault_rate_per_hour: float = 1e-5,
+        decoder_area_fraction: float = 0.1,
+    ):
+        self.std_model = std_model or StdCellAreaModel()
+        self.analytic_model = analytic_model or PaperAreaModel()
+        self.fault_rate_per_hour = fault_rate_per_hour
+        self.decoder_area_fraction = decoder_area_fraction
+
+    # -- the flow ------------------------------------------------------------
+
+    def plan(self, spec: DesignSpec) -> MemoryCodePlan:
+        """Size both decoders' codes for a spec (§III.2)."""
+        organization = spec.organization
+        if spec.row_code is not None:
+            from repro.design.registry import resolve_code
+
+            row = evaluate_code(
+                resolve_code(spec.row_code), spec.c, spec.pndc
+            )
+            if spec.column_zero_latency:
+                column = select_zero_latency_code(organization.s)
+            else:
+                column = row
+            return MemoryCodePlan(
+                organization=organization, row=row, column=column
+            )
+        return plan_memory_codes(
+            organization,
+            spec.c,
+            spec.pndc,
+            policy=spec.policy,
+            column_zero_latency=spec.column_zero_latency,
+        )
+
+    def build(
+        self, spec: DesignSpec, plan: Optional[MemoryCodePlan] = None
+    ) -> SelfCheckingMemory:
+        """Assemble the figure-3 self-checking memory for a spec."""
+        plan = plan or self.plan(spec)
+        memory = SelfCheckingMemory(
+            spec.organization,
+            plan.row_mapping(),
+            plan.column_mapping(),
+            structural_checkers=spec.structural_checkers,
+            decoder_style=spec.decoder_style,
+        )
+        memory.selection = plan.row
+        return memory
+
+    def evaluate(
+        self, spec: DesignSpec, plan: Optional[MemoryCodePlan] = None
+    ) -> DesignReport:
+        """Size a spec and report guarantees, area and safety."""
+        plan = plan or self.plan(spec)
+        organization = spec.organization
+
+        breakdown = self.analytic_model.breakdown(
+            organization, r_row=plan.r_row, r_column=plan.r_column
+        )
+        area = AreaReport(
+            stdcell_overhead_percent=plan.overhead_percent(self.std_model),
+            decoder_check_percent=100 * breakdown.decoder_check,
+            parity_bit_percent=100 * breakdown.parity_bit,
+            parity_checker_percent=100 * breakdown.parity_checker,
+            total_percent=100 * breakdown.total,
+        )
+
+        safety_model = SafetyModel(
+            fault_rate_per_hour=self.fault_rate_per_hour,
+            decoder_area_fraction=self.decoder_area_fraction,
+        )
+        residual = safety_model.rate_with_scheme(plan.row.achieved_pndc)
+        safety = SafetyReport(
+            fault_rate_per_hour=self.fault_rate_per_hour,
+            decoder_area_fraction=self.decoder_area_fraction,
+            residual_rate_per_hour=residual,
+            baseline_rate_per_hour=safety_model.rate_unprotected_decoders(),
+            improvement_factor=safety_model.improvement_factor(
+                plan.row.achieved_pndc
+            ),
+        )
+
+        return DesignReport(
+            spec=spec,
+            row=decoder_check_report(plan.row, 1 << organization.p),
+            column=decoder_check_report(plan.column, 1 << organization.s),
+            area=area,
+            safety=safety,
+        )
+
+    # -- batch exploration ---------------------------------------------------
+
+    def sweep(
+        self,
+        specs: Iterable[DesignSpec],
+        workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> List[DesignReport]:
+        """Evaluate many specs; results keep the input order.
+
+        ``workers=None`` (or <= 1) evaluates serially.  ``workers=N``
+        fans out over a :class:`concurrent.futures` pool —
+        ``executor="thread"`` (default; zero pickling cost) or
+        ``executor="process"`` (true CPU parallelism; specs and the
+        engine must stay picklable, which the built-in types are).
+
+        Caveat for ``executor="process"``: runtime registrations in
+        :mod:`repro.design.registry` (plugin codes/mappings/checkers)
+        are not shipped to workers on spawn-start platforms
+        (Windows/macOS) — workers re-import the registry module fresh.
+        Register plugins at import time of a module the workers also
+        import, or stay on the thread executor for plugin sweeps.
+        """
+        spec_list: Sequence[DesignSpec] = list(specs)
+        if workers is None or workers <= 1:
+            return [self.evaluate(spec) for spec in spec_list]
+        if executor == "thread":
+            pool_cls = futures.ThreadPoolExecutor
+        elif executor == "process":
+            pool_cls = futures.ProcessPoolExecutor
+        else:
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(self.evaluate, spec_list))

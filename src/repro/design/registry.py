@@ -1,0 +1,276 @@
+"""Name-keyed registries: codes, checkers, mappings, decoder styles.
+
+The figure-3 scheme composes four pluggable families — an unordered
+*code*, the address *mapping* that programs the ROM from it, the
+*checker* observing the ROM word, and the *decoder* feeding the ROM.
+Historically each composition point was a hard-coded dispatch
+(``SelfCheckingMemory._checker_for``'s isinstance chain,
+``mapping_for_code``'s if/elif); this module replaces them with
+registries so a new code plugs into the scheme without touching
+:mod:`repro.core.scheme`:
+
+* :data:`CODES` — parsers from a code spec string (``"3-out-of-5"``) to
+  a code instance; used by :class:`~repro.design.spec.DesignSpec` row
+  code overrides.
+* :data:`MAPPINGS` — mapping factories keyed by *kind*
+  (``"parity"``, ``"mod"``, ``"identity"``, ...), signature
+  ``factory(code, n_bits, **kwargs) -> AddressMapping``.
+* :data:`CHECKERS` — checker factories keyed by the **class name** of
+  the mapping's code (or of the mapping itself), signature
+  ``factory(mapping, structural) -> Checker``.  Lookup walks the MRO,
+  so registering a base class covers subclasses.
+* :data:`DECODERS` — decoder-style factories (``"tree"``, ``"flat"``),
+  signature ``factory(n_bits, name) -> decoder``.
+
+To plug in a new code: give the code class a ``mapping_kind`` attribute
+(or register a selector predicate), register a mapping factory under
+that kind and a checker factory under the code's class name — the
+engine, the scheme and the CLI pick it up by name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.checkers.berger_checker import BergerChecker
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import (
+    AddressMapping,
+    IdentityMapping,
+    ModAMapping,
+    ParityMapping,
+    TruncatedBergerMapping,
+)
+from repro.decoder.flat import FlatDecoder
+from repro.decoder.tree import DecoderTree
+
+__all__ = [
+    "Registry",
+    "CODES",
+    "CHECKERS",
+    "MAPPINGS",
+    "DECODERS",
+    "checker_for",
+    "mapping_kind_for",
+    "mapping_for_code",
+    "build_mapping",
+    "decoder_for",
+    "resolve_code",
+    "register_mapping_selector",
+]
+
+
+class Registry:
+    """An ordered name -> factory table with decorator registration.
+
+    >>> r = Registry("widget")
+    >>> @r.register("square")
+    ... def make_square():
+    ...     return "[]"
+    >>> r.get("square")()
+    '[]'
+    >>> "square" in r
+    True
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str, obj: Optional[Callable] = None):
+        """Register ``obj`` under ``name``; usable as a decorator."""
+        if obj is None:
+            def decorator(fn: Callable) -> Callable:
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if name in self._entries:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"unregister it first to replace it"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no {self.kind} registered under {name!r}; "
+                f"known: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered names, in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"
+
+
+#: code-spec parsers: ``parser(text) -> Optional[Code]`` (None = no match)
+CODES = Registry("code")
+#: checker factories keyed by code/mapping class name
+CHECKERS = Registry("checker")
+#: mapping factories keyed by mapping kind
+MAPPINGS = Registry("mapping")
+#: decoder-style factories keyed by style name
+DECODERS = Registry("decoder style")
+
+#: (predicate, kind) pairs deciding the mapping kind for a code; newest
+#: registrations are consulted first so plugins can override defaults.
+_MAPPING_SELECTORS: List[Tuple[Callable[[object], bool], str]] = []
+
+
+def register_mapping_selector(
+    kind: str, predicate: Callable[[object], bool]
+) -> None:
+    """Route codes matching ``predicate`` to the ``kind`` mapping."""
+    _MAPPING_SELECTORS.insert(0, (predicate, kind))
+
+
+# -- lookup helpers ----------------------------------------------------------
+
+
+def checker_for(mapping: AddressMapping, structural: bool = False):
+    """Build the registered checker for a mapping's code.
+
+    The mapping's ``code`` attribute is consulted first (walking its
+    MRO), then the mapping's own class — so code-level registrations
+    cover every mapping of that code, while mapping-level registrations
+    (e.g. :class:`TruncatedBergerMapping`, which has no ``code``) still
+    work.
+    """
+    candidates: List[str] = []
+    code = getattr(mapping, "code", None)
+    if code is not None:
+        candidates.extend(cls.__name__ for cls in type(code).__mro__)
+    candidates.extend(cls.__name__ for cls in type(mapping).__mro__)
+    for name in candidates:
+        if name in CHECKERS:
+            return CHECKERS.get(name)(mapping, structural)
+    raise TypeError(
+        f"no checker registered for mapping {mapping!r} "
+        f"(tried {candidates}); register one with "
+        f"repro.design.registry.CHECKERS.register(<class name>, factory)"
+    )
+
+
+def mapping_kind_for(code) -> str:
+    """Mapping kind for a code: its ``mapping_kind`` attribute, else the
+    first matching registered selector."""
+    kind = getattr(code, "mapping_kind", None)
+    if kind is not None:
+        return kind
+    for predicate, selected in _MAPPING_SELECTORS:
+        if predicate(code):
+            return selected
+    raise TypeError(
+        f"no mapping kind known for code {code!r}; give the code class a "
+        f"'mapping_kind' attribute or register_mapping_selector()"
+    )
+
+
+def build_mapping(kind: str, code, n_bits: int, **kwargs) -> AddressMapping:
+    """Instantiate the registered mapping ``kind`` for a code."""
+    return MAPPINGS.get(kind)(code, n_bits, **kwargs)
+
+
+def mapping_for_code(
+    code, n_bits: int, complete: bool = True
+) -> AddressMapping:
+    """The paper's mapping for a selected code, via the registry.
+
+    1-out-of-2 gets the parity mapping; other m-out-of-n codes the mod-a
+    mapping; plugin codes whatever their ``mapping_kind`` names.
+    """
+    return build_mapping(
+        mapping_kind_for(code), code, n_bits, complete=complete
+    )
+
+
+def decoder_for(style: str, n_bits: int, name: str):
+    """Instantiate the registered decoder style."""
+    return DECODERS.get(style)(n_bits, name)
+
+
+def resolve_code(text: str):
+    """Parse a code spec string through the registered code parsers.
+
+    >>> resolve_code("3-out-of-5").name
+    '3-out-of-5'
+    """
+    for name in CODES.names():
+        code = CODES.get(name)(text)
+        if code is not None:
+            return code
+    raise ValueError(
+        f"unrecognised code spec {text!r}; known families: {CODES.names()}"
+    )
+
+
+# -- default registrations ---------------------------------------------------
+
+_M_OUT_OF_N_RE = re.compile(r"^(\d+)-out-of-(\d+)$")
+
+
+@CODES.register("m-out-of-n")
+def _parse_m_out_of_n(text: str):
+    match = _M_OUT_OF_N_RE.match(text.strip())
+    if not match:
+        return None
+    return MOutOfNCode(int(match.group(1)), int(match.group(2)))
+
+
+CHECKERS.register(
+    "MOutOfNCode",
+    lambda mapping, structural: MOutOfNChecker(
+        mapping.code.m, mapping.code.n, structural=structural
+    ),
+)
+# Berger-style mappings (the §III.1 ablation) carry no .code attribute;
+# they register under their own class name.
+CHECKERS.register(
+    "TruncatedBergerMapping",
+    lambda mapping, structural: BergerChecker(mapping.info_bits),
+)
+
+MAPPINGS.register(
+    "parity", lambda code, n_bits, complete=True: ParityMapping(n_bits)
+)
+MAPPINGS.register(
+    "mod",
+    lambda code, n_bits, complete=True: ModAMapping(
+        code, n_bits, complete=complete
+    ),
+)
+MAPPINGS.register(
+    "identity",
+    lambda code, n_bits, complete=True: IdentityMapping(code, n_bits),
+)
+MAPPINGS.register(
+    "truncated-berger",
+    lambda code, n_bits, k=1, **_: TruncatedBergerMapping(n_bits, k),
+)
+
+register_mapping_selector(
+    "mod", lambda code: isinstance(code, MOutOfNCode)
+)
+register_mapping_selector(
+    "parity",
+    lambda code: isinstance(code, MOutOfNCode)
+    and (code.m, code.n) == (1, 2),
+)
+
+DECODERS.register("tree", lambda n_bits, name: DecoderTree(n_bits, name=name))
+DECODERS.register("flat", lambda n_bits, name: FlatDecoder(n_bits, name=name))

@@ -1,0 +1,178 @@
+"""`DesignSpec` — one frozen, validated, JSON-round-trippable design problem.
+
+A spec is the declarative input of the design flow: the memory
+organisation, the on-line test requirement (c, Pndc), the sizing policy,
+and the implementation knobs (checker style, decoder style, column
+treatment).  Everything the engine needs, nothing it derives.
+
+>>> spec = DesignSpec(words=2048, bits=16, c=10, pndc=1e-9)
+>>> spec.organization.label()
+'16x2K'
+>>> DesignSpec.from_json(spec.to_json()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.selection import SelectionPolicy
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["DesignSpec", "CHECKER_STYLES"]
+
+#: how the m-out-of-n checkers are realised
+CHECKER_STYLES = ("behavioural", "structural")
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Input of the paper's design flow, as one immutable value.
+
+    Parameters
+    ----------
+    words, bits, column_mux
+        The RAM organisation (see :class:`MemoryOrganization`).
+    c, pndc
+        The §III.2 requirement: detect decoder faults within ``c``
+        cycles with escape probability at most ``pndc``.
+    policy
+        Sizing policy (exact ceil-bound or the paper's 1/a shortcut).
+    column_zero_latency
+        ``True`` (default): give the cheap column decoder a zero-latency
+        identity mapping; ``False``: reuse the row code (the tables'
+        convention).
+    checker_style
+        ``"behavioural"`` or ``"structural"`` m-out-of-n checkers.
+    decoder_style
+        Registered decoder style (``"tree"`` or ``"flat"``).
+    row_code
+        Optional explicit row code spec (e.g. ``"3-out-of-5"``) that
+        bypasses the (c, Pndc) sizing — for table sweeps and ablations.
+    """
+
+    words: int
+    bits: int
+    column_mux: int = 8
+    c: int = 10
+    pndc: float = 1e-9
+    policy: SelectionPolicy = SelectionPolicy.EXACT
+    column_zero_latency: bool = True
+    checker_style: str = "behavioural"
+    decoder_style: str = "tree"
+    row_code: Optional[str] = None
+
+    def __post_init__(self):
+        if isinstance(self.policy, str):
+            object.__setattr__(self, "policy", SelectionPolicy(self.policy))
+        # MemoryOrganization carries the power-of-two / mux validation;
+        # cache it — the engine and report reader hit the property often.
+        object.__setattr__(
+            self,
+            "_organization",
+            MemoryOrganization(
+                words=self.words, bits=self.bits, column_mux=self.column_mux
+            ),
+        )
+        if self.c < 1:
+            raise ValueError(f"c must be >= 1 clock cycle, got {self.c}")
+        if not 0 < self.pndc < 1:
+            raise ValueError(f"Pndc must be in (0, 1), got {self.pndc}")
+        if self.checker_style not in CHECKER_STYLES:
+            raise ValueError(
+                f"checker_style must be one of {CHECKER_STYLES}, "
+                f"got {self.checker_style!r}"
+            )
+        from repro.design.registry import DECODERS
+
+        if self.decoder_style not in DECODERS:
+            raise ValueError(
+                f"unknown decoder_style {self.decoder_style!r}; "
+                f"registered: {DECODERS.names()}"
+            )
+        if self.row_code is not None:
+            from repro.design.registry import resolve_code
+
+            resolve_code(self.row_code)  # raises on an unknown spec
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def organization(self) -> MemoryOrganization:
+        return self._organization
+
+    @property
+    def structural_checkers(self) -> bool:
+        return self.checker_style == "structural"
+
+    def label(self) -> str:
+        """Compact human label, e.g. ``'16x2K c=10 Pndc<=1e-09'``."""
+        return (
+            f"{self.organization.label()} c={self.c} Pndc<={self.pndc:g}"
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def for_organization(
+        cls, organization: MemoryOrganization, **kwargs
+    ) -> "DesignSpec":
+        """A spec for an existing :class:`MemoryOrganization`."""
+        return cls(
+            words=organization.words,
+            bits=organization.bits,
+            column_mux=organization.column_mux,
+            **kwargs,
+        )
+
+    @classmethod
+    def grid(
+        cls,
+        organizations: Iterable[MemoryOrganization],
+        requirements: Sequence[Tuple[int, float]],
+        **common,
+    ) -> List["DesignSpec"]:
+        """The cross product organisations x (c, Pndc) requirements.
+
+        >>> from repro.memory.organization import PAPER_ORGS
+        >>> specs = DesignSpec.grid(PAPER_ORGS, [(10, 1e-9), (2, 1e-9)])
+        >>> len(specs)
+        6
+        """
+        return [
+            cls.for_organization(org, c=c, pndc=pndc, **common)
+            for org in organizations
+            for c, pndc in requirements
+        ]
+
+    def replace(self, **changes) -> "DesignSpec":
+        """A copy with some fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["policy"] = self.policy.value
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown DesignSpec fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "DesignSpec":
+        return cls.from_dict(json.loads(text))

@@ -26,9 +26,9 @@ from typing import Dict, List
 
 from repro.circuits.faults import NetStuckAt
 from repro.core.scheme import SelfCheckingMemory
-from repro.core.selection import select_code
+from repro.design.engine import DesignEngine
+from repro.design.spec import DesignSpec
 from repro.memory.faults import CellStuckAt
-from repro.memory.organization import MemoryOrganization
 
 __all__ = ["StructureReport", "build_figure3_instance", "verify_structure", "main"]
 
@@ -55,9 +55,15 @@ def build_figure3_instance(
     c: int = 10, pndc: float = 1e-9,
 ) -> SelfCheckingMemory:
     """A small but complete figure-3 memory (sized for simulation)."""
-    org = MemoryOrganization(words=words, bits=bits, column_mux=column_mux)
-    selection = select_code(c, pndc)
-    return SelfCheckingMemory.from_selection(org, selection)
+    spec = DesignSpec(
+        words=words,
+        bits=bits,
+        column_mux=column_mux,
+        c=c,
+        pndc=pndc,
+        column_zero_latency=False,  # one code on both decoders (tables)
+    )
+    return DesignEngine().build(spec)
 
 
 def verify_structure(memory: SelfCheckingMemory = None) -> StructureReport:

@@ -11,7 +11,7 @@ Run: ``python -m repro.experiments.table1``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.area.stdcell import StdCellAreaModel
 from repro.core.selection import (
@@ -108,23 +108,31 @@ def render_table1(rows: List[Table1Row] = None) -> str:
     return title + format_table(headers, body)
 
 
-def main() -> None:
-    print(render_table1())
+def main(out: Optional[str] = None) -> None:
+    """Print the table; ``out`` additionally writes it to a file."""
     rows = generate_table1()
+    lines = [render_table1(rows)]
     mismatches = [r for r in rows if not r.matches_paper]
     if mismatches:
-        print(
+        lines.append(
             "\nRows where the exact sizing differs from the paper "
             "(ours meets the same Pndc spec at lower cost; see "
             "EXPERIMENTS.md):"
         )
         for row in mismatches:
-            print(
+            lines.append(
                 f"  c={row.c}: ours {row.our_code} "
                 f"(Pndc={row.our_pndc:.3g}) vs paper {row.paper_code} "
                 f"(Pndc={row.paper_code_pndc:.3g})"
             )
+    text = "\n".join(lines)
+    print(text)
+    if out is not None:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(out=sys.argv[1] if len(sys.argv) > 1 else None)

@@ -12,7 +12,7 @@ Run: ``python -m repro.experiments.table2``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.area.stdcell import StdCellAreaModel
 from repro.core.selection import (
@@ -108,26 +108,35 @@ def render_table2(rows: List[Table2Row] = None) -> str:
     return title + format_table(headers, body)
 
 
-def main() -> None:
-    print(render_table2())
+def main(out: Optional[str] = None) -> None:
+    """Print the table; ``out`` additionally writes it to a file."""
+    approx_rows = generate_table2()
+    lines = [render_table2(approx_rows)]
     exact_rows = generate_table2(policy=SelectionPolicy.EXACT)
     diffs = [
         (approx, exact)
-        for approx, exact in zip(generate_table2(), exact_rows)
+        for approx, exact in zip(approx_rows, exact_rows)
         if approx.our_code != exact.our_code
     ]
     if diffs:
-        print(
+        lines.append(
             "\nRows where the exact ceil-bound demands a wider code than "
             "the paper's 1/a approximation:"
         )
         for approx, exact in diffs:
-            print(
+            lines.append(
                 f"  Pndc={approx.pndc:g}: paper/approx {approx.our_code} "
                 f"(achieved Pndc={approx.our_pndc:.3g}) vs exact "
                 f"{exact.our_code} (achieved Pndc={exact.our_pndc:.3g})"
             )
+    text = "\n".join(lines)
+    print(text)
+    if out is not None:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(out=sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,199 @@
+"""Registry layer: default lookups match the old dispatch; plugins work.
+
+The acceptance test of the API redesign lives here: a brand-new code,
+registered purely through :mod:`repro.design.registry`, builds a working
+checked memory without any edit to ``core/scheme.py``.
+"""
+
+import pytest
+
+from repro.checkers.base import Checker
+from repro.checkers.berger_checker import BergerChecker
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.circuits.faults import NetStuckAt
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import (
+    AddressMapping,
+    ModAMapping,
+    ParityMapping,
+    TruncatedBergerMapping,
+    mapping_for_code,
+)
+from repro.core.scheme import SelfCheckingMemory
+from repro.decoder.flat import FlatDecoder
+from repro.decoder.tree import DecoderTree
+from repro.design import registry
+from repro.memory.organization import MemoryOrganization
+
+
+class TestRegistryObject:
+    def test_duplicate_registration_rejected(self):
+        r = registry.Registry("thing")
+        r.register("x", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            r.register("x", lambda: 2)
+
+    def test_unknown_name_lists_known(self):
+        r = registry.Registry("thing")
+        r.register("alpha", lambda: 1)
+        with pytest.raises(KeyError, match="alpha"):
+            r.get("beta")
+
+    def test_decorator_form(self):
+        r = registry.Registry("thing")
+
+        @r.register("f")
+        def factory():
+            return 7
+
+        assert r.get("f")() == 7
+        assert "f" in r
+        r.unregister("f")
+        assert "f" not in r
+
+
+class TestDefaultLookups:
+    """The registry reproduces the deleted isinstance/if-elif dispatch."""
+
+    def test_mapping_for_m_out_of_n_is_mod(self):
+        mapping = mapping_for_code(MOutOfNCode(3, 5), 5)
+        assert isinstance(mapping, ModAMapping)
+        assert mapping.a == 9
+
+    def test_mapping_for_1_out_of_2_is_parity(self):
+        assert isinstance(
+            mapping_for_code(MOutOfNCode(1, 2), 4), ParityMapping
+        )
+
+    def test_checker_for_m_out_of_n_mapping(self):
+        mapping = mapping_for_code(MOutOfNCode(3, 5), 5)
+        checker = registry.checker_for(mapping)
+        assert isinstance(checker, MOutOfNChecker)
+        assert checker.accepts(mapping.codeword(11))
+
+    def test_checker_for_truncated_berger(self):
+        mapping = TruncatedBergerMapping(6, 2)
+        checker = registry.checker_for(mapping)
+        assert isinstance(checker, BergerChecker)
+
+    def test_checker_for_unknown_mapping_raises(self):
+        class Mystery:
+            n_bits = 3
+
+        with pytest.raises(TypeError, match="no checker registered"):
+            registry.checker_for(Mystery())
+
+    def test_decoder_styles(self):
+        assert isinstance(registry.decoder_for("tree", 4, "t"), DecoderTree)
+        assert isinstance(registry.decoder_for("flat", 4, "f"), FlatDecoder)
+
+    def test_resolve_code(self):
+        code = registry.resolve_code("3-out-of-5")
+        assert (code.m, code.n) == (3, 5)
+        with pytest.raises(ValueError, match="unrecognised code spec"):
+            registry.resolve_code("gray-7")
+
+
+# -- the plugin acceptance test ---------------------------------------------
+#
+# A "pair code": k information bits followed by their complements.  Every
+# word has weight exactly k, so the code is unordered and the NOR-matrix
+# detection argument holds.  None of this touches core/scheme.py.
+
+
+class PairCode:
+    """k-bit value + bitwise complement: 2^k words of a k-out-of-2k code."""
+
+    mapping_kind = "pair-identity"  # routes mapping_for_code by attribute
+
+    def __init__(self, k: int):
+        self.k = k
+        self.n = 2 * k
+        self.name = f"pair-{k}"
+
+    def cardinality(self) -> int:
+        return 1 << self.k
+
+    def word_at(self, index: int):
+        bits = tuple((index >> (self.k - 1 - i)) & 1 for i in range(self.k))
+        return bits + tuple(1 - b for b in bits)
+
+
+class PairMapping(AddressMapping):
+    """Zero-latency identity mapping onto the pair code."""
+
+    def __init__(self, code: PairCode, n_bits: int):
+        if code.k != n_bits:
+            raise ValueError("pair code must match the address width")
+        self.code = code
+        self.n_bits = n_bits
+        self.rom_width = code.n
+        self.num_words_used = 1 << n_bits
+
+    def index(self, address: int) -> int:
+        self._check_address(address)
+        return address
+
+    def codeword(self, address: int):
+        return self.code.word_at(self.index(address))
+
+
+class PairChecker(Checker):
+    def __init__(self, k: int):
+        self.k = k
+        self.input_width = 2 * k
+
+    def indication(self, word):
+        halves_complementary = all(
+            word[i] != word[self.k + i] for i in range(self.k)
+        )
+        return (1, 0) if halves_complementary else (1, 1)
+
+
+@pytest.fixture
+def pair_code_registered():
+    registry.MAPPINGS.register(
+        "pair-identity", lambda code, n_bits, **_: PairMapping(code, n_bits)
+    )
+    registry.CHECKERS.register(
+        "PairCode", lambda mapping, structural: PairChecker(mapping.code.k)
+    )
+    try:
+        yield
+    finally:
+        registry.MAPPINGS.unregister("pair-identity")
+        registry.CHECKERS.unregister("PairCode")
+
+
+class TestPluginCode:
+    def test_new_code_builds_working_memory(self, pair_code_registered):
+        org = MemoryOrganization(words=64, bits=8, column_mux=8)
+        memory = SelfCheckingMemory(
+            org,
+            mapping_for_code(PairCode(org.p), org.p),
+            mapping_for_code(PairCode(org.s), org.s),
+        )
+        pattern = (1, 0, 1, 1, 0, 0, 1, 0)
+        memory.write(13, pattern)
+        result = memory.read(13)
+        assert result.data == pattern
+        assert not result.error_detected
+
+    def test_new_code_detects_decoder_fault_immediately(
+        self, pair_code_registered
+    ):
+        org = MemoryOrganization(words=64, bits=8, column_mux=8)
+        memory = SelfCheckingMemory(
+            org,
+            mapping_for_code(PairCode(org.p), org.p),
+            mapping_for_code(PairCode(org.s), org.s),
+        )
+        # merge word line 2 into every access: distinct pair words AND to
+        # a non-code word, so the identity mapping flags it on cycle one
+        line = memory.row.tree.root.output_nets[2]
+        memory.inject_row_fault(NetStuckAt(line, 1))
+        result = memory.read(org.join_address(5, 0))
+        assert not result.row_ok
+
+    def test_registry_command_is_extensible(self, pair_code_registered):
+        assert "pair-identity" in registry.MAPPINGS.names()

@@ -1,0 +1,86 @@
+"""DesignReport structure: fields, serialisation, rendering details."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.selection import select_code, select_zero_latency_code
+from repro.design.engine import DesignEngine
+from repro.design.report import DesignReport, decoder_check_report
+from repro.design.spec import DesignSpec
+
+
+def make_report(**spec_kwargs) -> DesignReport:
+    defaults = dict(words=2048, bits=16, c=10, pndc=1e-9)
+    defaults.update(spec_kwargs)
+    return DesignEngine().evaluate(DesignSpec(**defaults))
+
+
+class TestDecoderCheckReport:
+    def test_mod_selection_fields(self):
+        selection = select_code(10, 1e-9)
+        side = decoder_check_report(selection, rom_lines=256)
+        assert side.code == "3-out-of-5"
+        assert side.a_final == 9
+        assert side.rom_lines == 256
+        assert side.rom_width == 5
+        assert side.escape_per_cycle == Fraction(1, 8)
+        assert side.expected_detection_cycles is not None
+        assert side.detection_quantile_999 is not None
+
+    def test_zero_latency_selection_has_no_latency_stats(self):
+        selection = select_zero_latency_code(3)
+        side = decoder_check_report(selection, rom_lines=8)
+        assert side.escape_per_cycle == 0
+        assert side.expected_detection_cycles is None
+        assert side.detection_quantile_999 is None
+
+    def test_dict_round_trip_preserves_exact_fraction(self):
+        side = decoder_check_report(select_code(10, 1e-9), rom_lines=256)
+        restored = type(side).from_dict(side.to_dict())
+        assert restored == side
+        assert isinstance(restored.escape_per_cycle, Fraction)
+
+
+class TestDesignReport:
+    def test_json_round_trip_full(self):
+        report = make_report(policy="approximate", pndc=1e-15)
+        assert DesignReport.from_json(report.to_json()) == report
+
+    def test_to_dict_sections(self):
+        data = make_report().to_dict()
+        assert set(data) == {"spec", "row", "column", "area", "safety"}
+        assert data["spec"]["words"] == 2048
+        assert data["row"]["code"] == "3-out-of-5"
+
+    def test_render_sections_present(self):
+        text = make_report().render()
+        for heading in (
+            "self-checking memory design report",
+            "row decoder check",
+            "column decoder check",
+            "area bill",
+            "system safety (SII model)",
+        ):
+            assert heading in text
+
+    def test_render_zero_latency_column_line(self):
+        text = make_report().render()  # default: zero-latency column
+        assert "detection latency     : 0 cycles (every fault)" in text
+
+    def test_render_shared_column_has_escape_lines(self):
+        text = make_report(column_zero_latency=False).render()
+        assert text.count("escape per cycle") == 2
+
+    def test_area_consistency(self):
+        area = make_report().area
+        assert area.total_percent == pytest.approx(
+            area.decoder_check_percent
+            + area.parity_bit_percent
+            + area.parity_checker_percent
+        )
+
+    def test_safety_improvement_positive(self):
+        safety = make_report().safety
+        assert safety.residual_rate_per_hour < safety.baseline_rate_per_hour
+        assert safety.improvement_factor > 1

@@ -1,0 +1,98 @@
+"""DesignSpec: validation, immutability, JSON round trips, grids."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.selection import SelectionPolicy
+from repro.design.spec import DesignSpec
+from repro.memory.organization import PAPER_ORGS
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = DesignSpec(words=2048, bits=16)
+        assert spec.c == 10
+        assert spec.policy is SelectionPolicy.EXACT
+        assert spec.organization.label() == "16x2K"
+
+    def test_policy_string_coerced_to_enum(self):
+        spec = DesignSpec(words=2048, bits=16, policy="approximate")
+        assert spec.policy is SelectionPolicy.APPROXIMATE
+
+    def test_frozen(self):
+        spec = DesignSpec(words=2048, bits=16)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.words = 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"words": 1000, "bits": 16},          # not a power of two
+            {"words": 2048, "bits": 0},           # empty word
+            {"words": 2048, "bits": 16, "c": 0},  # no latency budget
+            {"words": 2048, "bits": 16, "pndc": 0.0},
+            {"words": 2048, "bits": 16, "pndc": 1.5},
+            {"words": 2048, "bits": 16, "checker_style": "quantum"},
+            {"words": 2048, "bits": 16, "decoder_style": "banyan"},
+            {"words": 2048, "bits": 16, "row_code": "not-a-code"},
+            {"words": 2048, "bits": 16, "policy": "vibes"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises((ValueError, KeyError)):
+            DesignSpec(**kwargs)
+
+    def test_structural_checkers_flag(self):
+        assert not DesignSpec(words=64, bits=8,
+                              column_mux=4).structural_checkers
+        assert DesignSpec(
+            words=64, bits=8, column_mux=4, checker_style="structural"
+        ).structural_checkers
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = DesignSpec(
+            words=4096, bits=32, c=20, pndc=1e-15,
+            policy="approximate", column_zero_latency=False,
+            checker_style="structural", decoder_style="flat",
+            row_code="3-out-of-5",
+        )
+        assert DesignSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_uses_policy_value(self):
+        data = DesignSpec(words=2048, bits=16).to_dict()
+        assert data["policy"] == "exact"
+
+    def test_unknown_fields_rejected(self):
+        data = DesignSpec(words=2048, bits=16).to_dict()
+        data["latency_budget"] = 3
+        with pytest.raises(ValueError, match="unknown DesignSpec fields"):
+            DesignSpec.from_dict(data)
+
+    def test_replace_revalidates(self):
+        spec = DesignSpec(words=2048, bits=16)
+        assert spec.replace(c=40).c == 40
+        with pytest.raises(ValueError):
+            spec.replace(c=-1)
+
+
+class TestGrid:
+    def test_grid_is_cross_product(self):
+        specs = DesignSpec.grid(PAPER_ORGS, [(2, 1e-9), (10, 1e-9)])
+        assert len(specs) == 6
+        assert {s.organization.label() for s in specs} == {
+            "16x2K", "32x4K", "64x8K"
+        }
+        assert {s.c for s in specs} == {2, 10}
+
+    def test_grid_forwards_common_kwargs(self):
+        specs = DesignSpec.grid(
+            PAPER_ORGS[:1], [(10, 1e-9)], policy="approximate"
+        )
+        assert specs[0].policy is SelectionPolicy.APPROXIMATE
+
+    def test_for_organization(self):
+        spec = DesignSpec.for_organization(PAPER_ORGS[1], c=5)
+        assert (spec.words, spec.bits, spec.c) == (4096, 32, 5)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.circuits.faults import NetStuckAt
+from repro.core.mapping import mapping_for_code
 from repro.core.scheme import SelfCheckingMemory
 from repro.core.selection import select_code
 from repro.memory.organization import MemoryOrganization
@@ -84,3 +85,77 @@ class TestFaultyCheckedWrite:
         assert memory.read(
             org.join_address(stuck_row, 0)
         ).data == PATTERN
+
+
+class TestColumnFaultCheckedWrite:
+    """Column-decoder stuck-ats on the write path (§III applies to both
+    axes; the column ROM observes the mux-select lines on writes too)."""
+
+    def test_column_sa0_drops_the_write_and_flags(self, memory):
+        org = memory.organization
+        _, col_value = org.split_address(9)
+        line = memory.column.tree.root.output_nets[col_value]
+        memory.inject_column_fault(NetStuckAt(line, 0))
+        memory.write(9, ZERO)
+        result = memory.checked_write(9, PATTERN)
+        memory.clear_faults()
+        assert memory.read(9).data == ZERO   # nothing selected, write lost
+        assert not result.column_ok          # all-1s ROM word flagged
+        assert result.error_detected
+
+    def test_column_sa1_merge_writes_both_ways(self, memory):
+        org = memory.organization
+        stuck_col = 3
+        line = memory.column.tree.root.output_nets[stuck_col]
+        memory.inject_column_fault(NetStuckAt(line, 1))
+        target = org.join_address(5, 0)
+        result = memory.checked_write(target, PATTERN)
+        memory.clear_faults()
+        assert memory.read(target).data == PATTERN
+        assert memory.read(org.join_address(5, stuck_col)).data == PATTERN
+        assert not result.column_ok  # distinct words AND to non-code
+
+    def test_multi_row_merge_writes_every_selected_row(self):
+        # two simultaneous row stuck-at-1s: the data lands in all three
+        # rows and the triple-AND ROM word still leaves the code
+        org = MemoryOrganization(words=64, bits=8, column_mux=4)
+        memory = SelfCheckingMemory.from_selection(
+            org, select_code(10, 1e-9)
+        )
+        for stuck_row in (1, 2):
+            line = memory.row.tree.root.output_nets[stuck_row]
+            memory.inject_row_fault(NetStuckAt(line, 1))
+        target = org.join_address(7, 0)
+        result = memory.checked_write(target, PATTERN)
+        memory.clear_faults()
+        for row in (1, 2, 7):
+            assert memory.read(org.join_address(row, 0)).data == PATTERN
+        assert not result.row_ok
+
+    def test_write_cycle_parity_reflects_written_word(self, memory):
+        # decoder faults do not corrupt the write-cycle parity check: the
+        # indication is computed from the word being written
+        line = memory.row.tree.root.output_nets[0]
+        memory.inject_row_fault(NetStuckAt(line, 0))
+        result = memory.checked_write(0, PATTERN)
+        memory.clear_faults()
+        assert result.parity_ok
+        assert not result.row_ok
+
+
+class TestSelectionAttribute:
+    """Regression: `.selection` exists on every construction path."""
+
+    def test_directly_constructed_memory_has_none_selection(self):
+        org = MemoryOrganization(words=64, bits=8, column_mux=4)
+        code = select_code(10, 1e-9).code
+        memory = SelfCheckingMemory(
+            org,
+            mapping_for_code(code, org.p),
+            mapping_for_code(code, org.s),
+        )
+        assert memory.selection is None  # used to raise AttributeError
+
+    def test_from_selection_still_records_selection(self, memory):
+        assert memory.selection is not None
+        assert memory.selection.code_name == "3-out-of-5"
