@@ -1,0 +1,213 @@
+"""Campaign engine benchmark: packed vs serial -> BENCH_campaigns.json.
+
+Runs the campaign-class workloads (exhaustive decoder campaign,
+end-to-end scheme campaign, the empirical latency experiment) in smoke
+mode on both engines, asserts the packed engine is **bit-identical** to
+the serial oracle, and records wall time, faults/sec and speedup.  The
+JSON this writes is the perf trajectory baseline tracked from PR 2
+onward; CI executes it on every push.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_campaigns.py [--out PATH]
+        [--check-speedup X]   # fail unless the 6-bit decoder campaign
+                              # beats serial by at least X (local gating)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import __version__
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.core.mapping import mapping_for_code
+from repro.core.scheme import SelfCheckingMemory
+from repro.core.selection import select_code
+from repro.experiments.latency_empirical import run_latency_experiment
+from repro.faultsim.campaign import decoder_campaign, scheme_campaign
+from repro.faultsim.injector import (
+    decoder_fault_list,
+    random_addresses,
+    sample_faults,
+)
+from repro.memory.faults import CellStuckAt, DataLineStuckAt
+from repro.memory.organization import MemoryOrganization
+from repro.rom.nor_matrix import CheckedDecoder
+
+
+def _records(result):
+    return [
+        (str(r.fault), r.kind, r.first_detection, r.first_error)
+        for r in result.records
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_decoder(n_bits: int, cycles: int, seed: int) -> dict:
+    """Exhaustive stuck-at campaign on a checked decoder (the acceptance
+    workload: n=6 over >=256 cycles must clear 20x)."""
+    code = MOutOfNCode(3, 5)
+    checked = CheckedDecoder(mapping_for_code(code, n_bits))
+    checker = MOutOfNChecker(code.m, code.n, structural=False)
+    faults = decoder_fault_list(checked)
+    addresses = random_addresses(n_bits, cycles, seed=seed)
+
+    serial, serial_s = _timed(
+        lambda: decoder_campaign(
+            checked, checker, faults, addresses,
+            attach_analytic=False, engine="serial",
+        )
+    )
+    packed, packed_s = _timed(
+        lambda: decoder_campaign(
+            checked, checker, faults, addresses, attach_analytic=False
+        )
+    )
+    identical = _records(serial) == _records(packed)
+    return {
+        "name": f"decoder_n{n_bits}_c{cycles}",
+        "faults": len(faults),
+        "cycles": cycles,
+        "serial_s": round(serial_s, 4),
+        "packed_s": round(packed_s, 4),
+        "serial_faults_per_sec": round(len(faults) / serial_s, 1),
+        "packed_faults_per_sec": round(len(faults) / packed_s, 1),
+        "speedup": round(serial_s / packed_s, 1),
+        "identical": identical,
+    }
+
+
+def bench_scheme(cycles: int, seed: int) -> dict:
+    """End-to-end scheme campaign: row + column + memory faults."""
+    org = MemoryOrganization(64, 8, column_mux=4)
+
+    def build():
+        return SelfCheckingMemory.from_selection(org, select_code(10, 1e-9))
+
+    serial_memory, packed_memory = build(), build()
+    row_faults = decoder_fault_list(serial_memory.row)
+    column_faults = sample_faults(
+        decoder_fault_list(serial_memory.column), 12, seed=seed
+    )
+    memory_faults = [
+        CellStuckAt(5, 1, 1), CellStuckAt(40, 0, 0), DataLineStuckAt(3, 1),
+    ]
+    addresses = random_addresses(org.n, cycles, seed=seed)
+    total = len(row_faults) + len(column_faults) + len(memory_faults)
+
+    serial, serial_s = _timed(
+        lambda: scheme_campaign(
+            serial_memory, addresses, row_faults=row_faults,
+            column_faults=column_faults, memory_faults=memory_faults,
+            engine="serial",
+        )
+    )
+    packed, packed_s = _timed(
+        lambda: scheme_campaign(
+            packed_memory, addresses, row_faults=row_faults,
+            column_faults=column_faults, memory_faults=memory_faults,
+        )
+    )
+    identical = [
+        (str(r.fault), r.kind, r.first_detection) for r in serial.records
+    ] == [
+        (str(r.fault), r.kind, r.first_detection) for r in packed.records
+    ]
+    return {
+        "name": f"scheme_64x8_c{cycles}",
+        "faults": total,
+        "cycles": cycles,
+        "serial_s": round(serial_s, 4),
+        "packed_s": round(packed_s, 4),
+        "serial_faults_per_sec": round(total / serial_s, 1),
+        "packed_faults_per_sec": round(total / packed_s, 1),
+        "speedup": round(serial_s / packed_s, 1),
+        "identical": identical,
+    }
+
+
+def bench_latency_experiment(n_bits: int, cycles: int) -> dict:
+    """The X1 empirical-latency experiment end to end on both engines."""
+    serial = run_latency_experiment(
+        n_bits=n_bits, cycles=cycles, seed=1, engine="serial"
+    )
+    packed = run_latency_experiment(
+        n_bits=n_bits, cycles=cycles, seed=1, engine="packed"
+    )
+    return {
+        "name": f"latency_empirical_n{n_bits}_c{cycles}",
+        "faults": packed.faults,
+        "cycles": cycles,
+        "serial_s": round(serial.wall_time_s, 4),
+        "packed_s": round(packed.wall_time_s, 4),
+        "serial_faults_per_sec": round(serial.faults_per_sec, 1),
+        "packed_faults_per_sec": round(packed.faults_per_sec, 1),
+        "speedup": round(serial.wall_time_s / packed.wall_time_s, 1),
+        "identical": serial.curve == packed.curve
+        and serial.coverage == packed.coverage,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_campaigns.json")
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="fail unless the 6-bit decoder bench clears X (local gating;"
+        " CI only checks bit-identity to stay robust on shared runners)",
+    )
+    args = parser.parse_args(argv)
+
+    benches = [
+        bench_decoder(n_bits=6, cycles=512, seed=31),
+        bench_decoder(n_bits=5, cycles=256, seed=7),
+        bench_scheme(cycles=300, seed=3),
+        bench_latency_experiment(n_bits=5, cycles=150),
+    ]
+    payload = {
+        "bench": "campaign_engines",
+        "version": __version__,
+        "benches": benches,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    width = max(len(b["name"]) for b in benches)
+    for b in benches:
+        flag = "ok " if b["identical"] else "MISMATCH"
+        print(
+            f"{b['name']:<{width}}  {b['faults']:>4} faults x "
+            f"{b['cycles']:>4} cycles  serial {b['serial_s']*1e3:8.1f} ms"
+            f"  packed {b['packed_s']*1e3:7.1f} ms  x{b['speedup']:<6g}"
+            f" [{flag}]"
+        )
+    print(f"wrote {args.out}")
+
+    if not all(b["identical"] for b in benches):
+        print("FAIL: packed engine diverged from the serial oracle",
+              file=sys.stderr)
+        return 1
+    if args.check_speedup is not None:
+        target = benches[0]
+        if target["speedup"] < args.check_speedup:
+            print(
+                f"FAIL: {target['name']} speedup x{target['speedup']} "
+                f"below required x{args.check_speedup}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

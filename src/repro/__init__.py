@@ -41,7 +41,8 @@ Layer map
 ``repro.area``     the §IV analytic model and the calibrated std-cell model
 ``repro.core``     code selection, mappings, latency math, the figure-3
                    scheme, safety model, trade-off explorer
-``repro.faultsim`` Monte-Carlo fault-injection campaigns
+``repro.faultsim`` fault-injection campaigns: packed bit-parallel
+                   engine (default) + the serial reference oracle
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
 """
@@ -77,7 +78,7 @@ from repro.memory.organization import (
     paper_org,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -45,3 +45,32 @@ class Checker(abc.ABC):
     def accepts(self, word: Sequence[int]) -> bool:
         """Convenience: True iff the indication is valid (word accepted)."""
         return indication_valid(self.indication(word))
+
+    def _validate_packed(self, packed_word: Sequence[int]) -> None:
+        """Arity guard shared by every ``accepts_packed`` implementation."""
+        if len(packed_word) != self.input_width:
+            raise ValueError(
+                f"expected {self.input_width} packed bit columns, "
+                f"got {len(packed_word)}"
+            )
+
+    def accepts_packed(
+        self, packed_word: Sequence[int], num_lanes: int
+    ) -> int:
+        """Lane-parallel acceptance over bit-packed observations.
+
+        ``packed_word[b] >> k & 1`` is bit ``b`` of the word observed in
+        lane ``k`` (the :mod:`repro.circuits.parallel` convention);
+        returns a lane-word whose bit ``k`` is 1 iff that lane's word is
+        accepted.  This generic implementation unpacks and defers to
+        :meth:`accepts`, so every checker — including plugins — is
+        packed-campaign compatible; the built-in checkers override it
+        with lane-wise bit tricks that never unpack.
+        """
+        self._validate_packed(packed_word)
+        acc = 0
+        for lane in range(num_lanes):
+            word = tuple((column >> lane) & 1 for column in packed_word)
+            if self.accepts(word):
+                acc |= 1 << lane
+        return acc

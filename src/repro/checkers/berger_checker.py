@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.checkers.base import Checker
+from repro.circuits.parallel import popcount_lanes
 from repro.codes.berger import BergerCode
 
 __all__ = ["BergerChecker"]
@@ -41,6 +42,29 @@ class BergerChecker(Checker):
             )
         ok = self.code.is_codeword(tuple(word))
         return (1, 0) if ok else (1, 1)
+
+    def accepts_packed(
+        self, packed_word: Sequence[int], num_lanes: int
+    ) -> int:
+        """Lanes where the check field equals the information zero count.
+
+        Carry-save popcount of the complemented information columns
+        gives the zero count bit-sliced; the stored check field *is*
+        already bit-sliced (MSB-first columns), so acceptance is a
+        lane-wise equality of the two without unpacking.
+        """
+        self._validate_packed(packed_word)
+        mask = (1 << num_lanes) - 1
+        info = packed_word[: self.code.info_bits]
+        check = packed_word[self.code.info_bits :]
+        zeros = popcount_lanes([~column & mask for column in info], mask)
+        width = len(check)
+        acc = mask
+        for j in range(width):  # zero count always fits in the field
+            counted = zeros[j] if j < len(zeros) else 0
+            stored = check[width - 1 - j]  # check field is MSB-first
+            acc &= ~(counted ^ stored) & mask
+        return acc
 
     def gate_count_estimate(self) -> int:
         """Rough structural cost: ones-counter (adder tree) + comparator.

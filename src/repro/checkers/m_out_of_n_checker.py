@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 from repro.checkers.base import Checker
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
+from repro.circuits.parallel import lanes_equal_const, popcount_lanes
 
 __all__ = ["MOutOfNChecker", "build_sorting_network", "build_bitonic_sorter"]
 
@@ -106,6 +107,20 @@ class MOutOfNChecker(Checker):
             return z1, z2
         weight = sum(word)
         return (1 if weight >= self.m else 0, 1 if weight >= self.m + 1 else 0)
+
+    def accepts_packed(
+        self, packed_word: Sequence[int], num_lanes: int
+    ) -> int:
+        """Lanes with weight exactly ``m``, via carry-save popcount.
+
+        The sorting network computes exact weight thresholds, so this
+        matches the structural realisation on *every* input word, not
+        just code words (verified exhaustively by the test suite).
+        """
+        self._validate_packed(packed_word)
+        mask = (1 << num_lanes) - 1
+        slices = popcount_lanes(packed_word, mask)
+        return lanes_equal_const(slices, self.m, mask)
 
     def gate_count(self) -> int:
         """Gates in the structural realisation (feeds the area model)."""

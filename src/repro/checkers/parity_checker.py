@@ -17,6 +17,7 @@ from repro.checkers.base import Checker
 from repro.circuits.builders import xor_tree
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
+from repro.circuits.parallel import xor_fold_lanes
 
 __all__ = ["ParityChecker"]
 
@@ -61,3 +62,17 @@ class ParityChecker(Checker):
             )
         z1, z2 = self.circuit.evaluate(list(word))
         return z1, z2
+
+    def accepts_packed(
+        self, packed_word: Sequence[int], num_lanes: int
+    ) -> int:
+        """Lanes with the accepted total parity, via one XOR fold.
+
+        The two-group construction accepts exactly the words of even
+        (resp. odd) total parity, so the packed form is a lane-wise
+        parity of all observed columns.
+        """
+        self._validate_packed(packed_word)
+        mask = (1 << num_lanes) - 1
+        fold = xor_fold_lanes(packed_word) & mask
+        return ~fold & mask if self.even else fold

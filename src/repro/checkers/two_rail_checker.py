@@ -100,3 +100,21 @@ class TwoRailChecker(Checker):
             )
         z1, z2 = self.circuit.evaluate(list(word))
         return z1, z2
+
+    def accepts_packed(
+        self, packed_word: Sequence[int], num_lanes: int
+    ) -> int:
+        """Lanes where every rail pair is complementary.
+
+        The TRC cell is code-disjoint, so the tree accepts exactly the
+        words whose pairs are all complementary: a lane-wise AND over
+        per-pair XORs, no unpacking.
+        """
+        self._validate_packed(packed_word)
+        mask = (1 << num_lanes) - 1
+        acc = mask
+        for i in range(self.pairs):
+            acc &= packed_word[2 * i] ^ packed_word[2 * i + 1]
+            if not acc:
+                break
+        return acc & mask

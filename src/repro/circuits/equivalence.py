@@ -10,12 +10,17 @@ need one representative per class.  The classical local rules:
 * OR:   any input s-a-1 ≡ output s-a-1;
 * NOR:  any input s-a-1 ≡ output s-a-0;
 * XOR/XNOR: no input/output equivalence;
-* a net with a single reader: the stem fault ≡ that reader's pin fault.
+* a net with a single reader: the stem fault ≡ that reader's pin fault —
+  unless the net is a primary output, where the stem fault is directly
+  observable and the branch fault is not.
 
 Classes are built with union-find over fault keys.  Collapsing is purely
 structural and conservative: two faults in one class are *guaranteed*
-functionally equivalent (the test suite re-proves this by exhaustive
-simulation on randomly built circuits).
+functionally equivalent at every primary output (the test suite re-proves
+this by exhaustive simulation on randomly built circuits).  Output
+equivalence is exactly what a campaign observes, which is what lets the
+packed engine (:mod:`repro.faultsim.fastsim`) simulate one representative
+per class and fan the measured latencies back out to every member.
 
 For the paper's decoder trees the collapse ratio is substantial — the
 AND-tree structure chains controlling values level to level — which is
@@ -128,8 +133,13 @@ def collapse_faults(
             fanout.setdefault(net, []).append((gate.index, pin))
 
     # Rule 1: single-reader stems — stem fault ≡ the lone pin fault.
+    # Guarded by observability: if the stem net is itself a primary
+    # output (e.g. a decoder word line also feeding one ROM column), the
+    # stem fault flips that output while the branch fault does not, so
+    # the two are distinguishable and must stay in separate classes.
+    observable = set(circuit.output_nets)
     for net, readers in fanout.items():
-        if len(readers) == 1:
+        if len(readers) == 1 and net not in observable:
             gate_index, pin = readers[0]
             for value in (0, 1):
                 uf.union(

@@ -15,7 +15,7 @@ magnitude in pure Python).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.faults import FaultBase
 from repro.circuits.gates import GateType
@@ -24,9 +24,57 @@ from repro.circuits.netlist import Circuit
 __all__ = [
     "pack_stimuli",
     "unpack_outputs",
+    "packed_gate_word",
     "evaluate_packed",
     "packed_rom_words",
+    "pack_addresses",
+    "popcount_lanes",
+    "lanes_equal_const",
+    "xor_fold_lanes",
+    "first_set_lane",
 ]
+
+
+def packed_gate_word(
+    gate_type: GateType, ins: Sequence[int], mask: int
+) -> int:
+    """One gate's output lane-word from its input lane-words.
+
+    The single definition of per-lane gate semantics shared by
+    :func:`evaluate_packed` and the incremental engine in
+    :mod:`repro.faultsim.fastsim`; per lane it matches
+    :func:`repro.circuits.gates.evaluate_gate`.
+    """
+    if gate_type is GateType.AND:
+        acc = mask
+        for word in ins:
+            acc &= word
+    elif gate_type is GateType.OR or gate_type is GateType.NOR:
+        acc = 0
+        for word in ins:
+            acc |= word
+        if gate_type is GateType.NOR:
+            acc = ~acc & mask
+    elif gate_type is GateType.NAND:
+        acc = mask
+        for word in ins:
+            acc &= word
+        acc = ~acc & mask
+    elif gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        acc = 0
+        for word in ins:
+            acc ^= word
+        if gate_type is GateType.XNOR:
+            acc = ~acc & mask
+    elif gate_type is GateType.NOT:
+        acc = ~ins[0] & mask
+    elif gate_type is GateType.BUF:
+        acc = ins[0]
+    elif gate_type is GateType.CONST0:
+        acc = 0
+    else:  # CONST1
+        acc = mask
+    return acc
 
 
 def pack_stimuli(stimuli: Sequence[Sequence[int]]) -> Tuple[List[int], int]:
@@ -103,40 +151,97 @@ def evaluate_packed(
             ins.append(
                 values[src] if forced is None else forced_word(forced)
             )
-        gate_type = gate.gate_type
-        if gate_type is GateType.AND:
-            acc = mask
-            for word in ins:
-                acc &= word
-        elif gate_type is GateType.OR or gate_type is GateType.NOR:
-            acc = 0
-            for word in ins:
-                acc |= word
-            if gate_type is GateType.NOR:
-                acc = ~acc & mask
-        elif gate_type is GateType.NAND:
-            acc = mask
-            for word in ins:
-                acc &= word
-            acc = ~acc & mask
-        elif gate_type is GateType.XOR or gate_type is GateType.XNOR:
-            acc = 0
-            for word in ins:
-                acc ^= word
-            if gate_type is GateType.XNOR:
-                acc = ~acc & mask
-        elif gate_type is GateType.NOT:
-            acc = ~ins[0] & mask
-        elif gate_type is GateType.BUF:
-            acc = ins[0]
-        elif gate_type is GateType.CONST0:
-            acc = 0
-        else:  # CONST1
-            acc = mask
+        acc = packed_gate_word(gate.gate_type, ins, mask)
         forced = net_faults.get(gate.output)
         values[gate.output] = acc if forced is None else forced_word(forced)
 
     return [values[net] for net in circuit.output_nets]
+
+
+def pack_addresses(
+    addresses: Sequence[int], n_bits: int
+) -> Tuple[List[int], int]:
+    """Pack an address stream into one lane-word per address bit.
+
+    Bit ``i`` of the address maps to input ``i`` (LSB-first, the decoder
+    convention); lane ``k`` of the result words is address ``k`` of the
+    stream.  Equivalent to :func:`pack_stimuli` over the bit expansion,
+    without materialising the intermediate vectors.
+
+    >>> pack_addresses([1, 0, 3], 2)
+    ([5, 4], 3)
+    """
+    top = 1 << n_bits
+    packed = [0] * n_bits
+    for lane, address in enumerate(addresses):
+        if not 0 <= address < top:
+            raise ValueError(
+                f"address {address} out of range [0, {top})"
+            )
+        for i in range(n_bits):
+            if (address >> i) & 1:
+                packed[i] |= 1 << lane
+    return packed, len(addresses)
+
+
+def popcount_lanes(words: Sequence[int], mask: int) -> List[int]:
+    """Lane-wise population count over a column of lane-words.
+
+    Carry-save (bit-sliced counter) addition: the result is a list of
+    count-slice words, LSB slice first — lane ``k``'s count is
+    ``sum(((s >> k) & 1) << i for i, s in enumerate(slices))``.  One
+    ripple pass per input word, ``O(len(words) * log len(words))`` word
+    operations in total, no unpacking.
+
+    >>> popcount_lanes([0b11, 0b01, 0b01], 0b11)   # lane0: 3 ones, lane1: 1
+    [3, 1]
+    """
+    slices: List[int] = []
+    for word in words:
+        carry = word & mask
+        for i in range(len(slices)):
+            if not carry:
+                break
+            slices[i], carry = slices[i] ^ carry, slices[i] & carry
+        if carry:
+            slices.append(carry)
+    return slices
+
+
+def lanes_equal_const(
+    slices: Sequence[int], value: int, mask: int
+) -> int:
+    """Lanes whose bit-sliced count equals ``value``; returns a lane-word.
+
+    ``slices`` is the LSB-first output of :func:`popcount_lanes`.
+
+    >>> bin(lanes_equal_const([3, 1], 3, 0b11))   # lane counts are (3, 1)
+    '0b1'
+    """
+    if value < 0 or (value >> len(slices)):
+        return 0
+    acc = mask
+    for i, word in enumerate(slices):
+        acc &= word if (value >> i) & 1 else ~word & mask
+        if not acc:
+            break
+    return acc
+
+
+def xor_fold_lanes(words: Sequence[int]) -> int:
+    """Lane-wise parity of a column of lane-words (XOR reduction)."""
+    fold = 0
+    for word in words:
+        fold ^= word
+    return fold
+
+
+def first_set_lane(word: int) -> Optional[int]:
+    """Index of the lowest set bit, or None for 0 — the packed
+    counterpart of 'first cycle where something happened'."""
+    if word <= 0:
+        return None
+    return (word & -word).bit_length() - 1
 
 
 def packed_rom_words(

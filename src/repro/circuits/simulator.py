@@ -1,10 +1,18 @@
 """Fault-simulation driver over a :class:`~repro.circuits.netlist.Circuit`.
 
-Serial fault simulation: for each fault, re-evaluate the circuit on each
-stimulus and compare against the fault-free response.  Pure Python, but the
-circuits of this paper (decoder trees + NOR matrices, a few thousand gates)
-simulate at the rate the experiments need; campaigns sub-sample addresses
-where exhaustive sweeps would be quadratic.
+Fault simulation over explicit stimulus lists.  Every entry point takes
+an ``engine`` argument:
+
+* ``"packed"`` (default) — bit-parallel: the stimulus list is packed
+  once (lane ``k`` = stimulus ``k``) and each fault costs **one**
+  netlist traversal (:func:`repro.circuits.parallel.evaluate_packed`)
+  instead of one per stimulus;
+* ``"serial"`` — the original per-stimulus loops, kept as the reference
+  oracle (the test suite proves the engines agree).
+
+:func:`coverage` additionally caches the golden packed responses once
+per stimulus list and shares them across the whole fault loop, so
+unexcited faults are disposed of with a handful of word compares.
 """
 
 from __future__ import annotations
@@ -13,15 +21,46 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuits.faults import FaultBase
 from repro.circuits.netlist import Circuit
+from repro.circuits.parallel import (
+    evaluate_packed,
+    first_set_lane,
+    pack_stimuli,
+    unpack_outputs,
+)
 
-__all__ = ["fault_free_responses", "first_difference", "detects", "coverage"]
+__all__ = [
+    "ENGINES",
+    "check_engine",
+    "fault_free_responses",
+    "first_difference",
+    "detects",
+    "coverage",
+]
+
+#: the two simulation engines every campaign/simulation driver accepts
+ENGINES = ("packed", "serial")
+
+
+def check_engine(engine: str) -> None:
+    """Validate an ``engine=`` argument (shared by all drivers)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
 
 
 def fault_free_responses(
-    circuit: Circuit, stimuli: Iterable[Sequence[int]]
+    circuit: Circuit,
+    stimuli: Iterable[Sequence[int]],
+    engine: str = "packed",
 ) -> List[Tuple[int, ...]]:
-    """Golden responses for a stimulus list."""
-    return [circuit.evaluate(vec) for vec in stimuli]
+    """Golden responses for a stimulus list (one packed pass)."""
+    check_engine(engine)
+    stimuli = list(stimuli)
+    if engine == "serial" or not stimuli:
+        return [circuit.evaluate(vec) for vec in stimuli]
+    packed, lanes = pack_stimuli(stimuli)
+    return unpack_outputs(evaluate_packed(circuit, packed, lanes), lanes)
 
 
 def first_difference(
@@ -29,6 +68,7 @@ def first_difference(
     fault: FaultBase,
     stimuli: Sequence[Sequence[int]],
     golden: Optional[Sequence[Tuple[int, ...]]] = None,
+    engine: str = "packed",
 ) -> Optional[int]:
     """Index of the first stimulus whose response differs under ``fault``.
 
@@ -36,13 +76,35 @@ def first_difference(
     This is the raw measurement behind *detection latency*: with one
     stimulus per clock cycle, the returned index is the number of cycles
     that elapse before the output first diverges.
+
+    Pass ``golden`` (from :func:`fault_free_responses`) when sweeping
+    many faults over one stimulus list, so it is computed once.
     """
+    check_engine(engine)
+    if engine == "serial":
+        if golden is None:
+            golden = fault_free_responses(circuit, stimuli, engine=engine)
+        for idx, vec in enumerate(stimuli):
+            if circuit.evaluate(vec, faults=(fault,)) != golden[idx]:
+                return idx
+        return None
+    if not stimuli:
+        return None
+    packed, lanes = pack_stimuli(stimuli)
     if golden is None:
-        golden = fault_free_responses(circuit, stimuli)
-    for idx, vec in enumerate(stimuli):
-        if circuit.evaluate(vec, faults=(fault,)) != golden[idx]:
-            return idx
-    return None
+        golden_words = evaluate_packed(circuit, packed, lanes)
+    else:
+        if len(golden) != len(stimuli):
+            raise ValueError(
+                f"golden has {len(golden)} responses for "
+                f"{len(stimuli)} stimuli"
+            )
+        golden_words, _ = pack_stimuli(golden)
+    faulty = evaluate_packed(circuit, packed, lanes, faults=(fault,))
+    diff = 0
+    for faulty_word, golden_word in zip(faulty, golden_words):
+        diff |= faulty_word ^ golden_word
+    return first_set_lane(diff)
 
 
 def detects(
@@ -50,6 +112,7 @@ def detects(
     fault: FaultBase,
     stimuli: Sequence[Sequence[int]],
     checker: Callable[[Tuple[int, ...]], bool],
+    engine: str = "packed",
 ) -> Optional[int]:
     """First stimulus index where the faulty response violates ``checker``.
 
@@ -57,9 +120,24 @@ def detects(
     the observer does not know the golden response, only whether the output
     is a code word (``checker`` returns True for code words).  Returns the
     cycle index of first detection, or None.
+
+    The packed engine runs one traversal for all stimuli, then judges the
+    unpacked responses in order (``checker`` is an arbitrary callable;
+    for packed judgement without unpacking use a
+    :class:`repro.checkers.base.Checker` and its ``accepts_packed``).
     """
-    for idx, vec in enumerate(stimuli):
-        response = circuit.evaluate(vec, faults=(fault,))
+    check_engine(engine)
+    if engine == "serial":
+        for idx, vec in enumerate(stimuli):
+            response = circuit.evaluate(vec, faults=(fault,))
+            if not checker(response):
+                return idx
+        return None
+    if not stimuli:
+        return None
+    packed, lanes = pack_stimuli(stimuli)
+    outputs = evaluate_packed(circuit, packed, lanes, faults=(fault,))
+    for idx, response in enumerate(unpack_outputs(outputs, lanes)):
         if not checker(response):
             return idx
     return None
@@ -70,15 +148,58 @@ def coverage(
     faults: Sequence[FaultBase],
     stimuli: Sequence[Sequence[int]],
     checker: Callable[[Tuple[int, ...]], bool],
+    engine: str = "packed",
 ) -> Dict[str, object]:
     """Concurrent-detection coverage of a fault list over a stimulus stream.
 
     Returns a summary dict with per-fault first-detection cycles, the list
     of undetected faults, and the coverage ratio.
+
+    The packed engine packs the stimuli and computes the golden packed
+    responses **once per stimulus list**; a fault whose packed responses
+    equal the golden words is judged from the (cached) golden detection
+    outcome without re-running the checker loop.
     """
+    check_engine(engine)
     first_detect: Dict[FaultBase, Optional[int]] = {}
-    for fault in faults:
-        first_detect[fault] = detects(circuit, fault, stimuli, checker)
+    if engine == "serial" or not stimuli:
+        for fault in faults:
+            first_detect[fault] = detects(
+                circuit, fault, stimuli, checker, engine="serial"
+            )
+    else:
+        packed, lanes = pack_stimuli(stimuli)
+        golden_words = evaluate_packed(circuit, packed, lanes)
+        golden_outcome: Dict[str, Optional[int]] = {}
+
+        def golden_detection() -> Optional[int]:
+            # what the checker says about the fault-free stream, computed
+            # at most once and shared by every unexcited fault
+            if "value" not in golden_outcome:
+                outcome = None
+                for idx, response in enumerate(
+                    unpack_outputs(golden_words, lanes)
+                ):
+                    if not checker(response):
+                        outcome = idx
+                        break
+                golden_outcome["value"] = outcome
+            return golden_outcome["value"]
+
+        for fault in faults:
+            outputs = evaluate_packed(
+                circuit, packed, lanes, faults=(fault,)
+            )
+            if outputs == golden_words:
+                first_detect[fault] = golden_detection()
+                continue
+            found = None
+            for idx, response in enumerate(unpack_outputs(outputs, lanes)):
+                if not checker(response):
+                    found = idx
+                    break
+            first_detect[fault] = found
+
     undetected = [f for f, cyc in first_detect.items() if cyc is None]
     detected = len(faults) - len(undetected)
     return {

@@ -17,6 +17,7 @@ import importlib
 import io
 import json
 import sys
+import time
 from dataclasses import asdict, dataclass
 from typing import Callable, List, Optional
 
@@ -49,6 +50,46 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _validate_engine_args(args: argparse.Namespace) -> None:
+    """--workers only applies to the packed engine; refuse the combo
+    (and nonsensical counts) rather than silently running
+    single-process."""
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {workers}")
+    if getattr(args, "engine", "packed") == "serial" and workers is not None:
+        raise ValueError(
+            "--workers requires the packed engine (drop --serial)"
+        )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """--packed/--serial engine switch + --workers for campaign commands."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--packed",
+        dest="engine",
+        action="store_const",
+        const="packed",
+        default="packed",
+        help="bit-parallel campaign engine (default)",
+    )
+    group.add_argument(
+        "--serial",
+        dest="engine",
+        action="store_const",
+        const="serial",
+        help="per-cycle reference engine",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the fault list over N processes (packed engine)",
+    )
+
+
 def _add_policy_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
@@ -71,6 +112,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    _validate_engine_args(args)
     spec = DesignSpec(
         words=args.words,
         bits=args.bits,
@@ -82,7 +124,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         checker_style=args.checker_style,
         decoder_style=args.decoder_style,
     )
-    report = DesignEngine().evaluate(spec)
+    report = DesignEngine().evaluate(
+        spec,
+        empirical=args.empirical,
+        empirical_cycles=args.empirical_cycles,
+        engine=args.engine,
+        workers=args.workers,
+    )
     _emit(args, report.to_json(indent=2) if args.json else report.render())
     return 0
 
@@ -200,15 +248,34 @@ class ExperimentCommand:
     #: name of a module-level ``generate_*`` returning dataclass rows,
     #: exposed as structured data under ``--json``
     rows_attr: Optional[str] = None
+    #: campaign-driven commands grow --packed/--serial and --workers
+    #: and report wall time + faults/sec under --json
+    engine_aware: bool = False
 
     def run(self, args: argparse.Namespace) -> int:
         module = importlib.import_module(self.module)
+        kwargs = {}
+        if self.engine_aware:
+            _validate_engine_args(args)
+            kwargs = {"engine": args.engine, "workers": args.workers}
         buffer = io.StringIO()
+        start = time.perf_counter()
         with contextlib.redirect_stdout(buffer):
-            module.main()
+            module.main(**kwargs)
+        wall = time.perf_counter() - start
         text = buffer.getvalue()
         if args.json:
-            payload = {"command": self.name, "output": text}
+            payload = {
+                "command": self.name,
+                "output": text,
+                "wall_time_s": round(wall, 6),
+            }
+            if self.engine_aware:
+                payload["engine"] = args.engine
+                payload["workers"] = args.workers
+                stats = getattr(module, "LAST_CAMPAIGN_STATS", None)
+                if stats:
+                    payload["campaign"] = dict(stats)
             if self.rows_attr is not None:
                 payload["rows"] = [
                     asdict(row) for row in getattr(module, self.rows_attr)()
@@ -243,10 +310,12 @@ EXPERIMENTS = (
     ExperimentCommand(
         "latency", "repro.experiments.latency_empirical",
         "empirical latency validation",
+        engine_aware=True,
     ),
     ExperimentCommand(
         "ablations", "repro.experiments.ablations",
         "odd-a and unordered-code ablations",
+        engine_aware=True,
     ),
     ExperimentCommand(
         "ecc-baseline", "repro.experiments.ecc_baseline",
@@ -255,6 +324,7 @@ EXPERIMENTS = (
     ExperimentCommand(
         "decoder-style", "repro.experiments.decoder_style",
         "single-level vs multilevel decoder comparison",
+        engine_aware=True,
     ),
     ExperimentCommand(
         "figures", "repro.experiments.figures",
@@ -307,6 +377,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--checker-style", choices=CHECKER_STYLES, default="behavioural"
     )
     report.add_argument("--decoder-style", default="tree")
+    report.add_argument(
+        "--empirical",
+        action="store_true",
+        help="attach a measured fault-injection summary (packed campaign "
+        "on the row decoder)",
+    )
+    report.add_argument(
+        "--empirical-cycles", type=int, default=256, metavar="CYCLES"
+    )
+    _add_engine_options(report)
     _add_output_options(report)
     report.set_defaults(func=_cmd_report)
 
@@ -351,6 +431,8 @@ def build_parser() -> argparse.ArgumentParser:
     for entry in EXPERIMENTS:
         cmd = sub.add_parser(entry.name, help=entry.help)
         _add_output_options(cmd)
+        if entry.engine_aware:
+            _add_engine_options(cmd)
         cmd.set_defaults(func=entry.run)
 
     return parser

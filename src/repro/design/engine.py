@@ -13,10 +13,18 @@ plugin codes work), ``evaluate`` produces the machine-readable
 :class:`~repro.design.report.DesignReport`, and ``sweep`` batches
 evaluations over many specs with :mod:`concurrent.futures` — the
 trade-off-exploration hot path.
+
+``evaluate(spec, empirical=True)`` additionally *measures* the analytic
+guarantees: an exhaustive stuck-at campaign on the built scheme's row
+checked decoder, driven by the packed engine of
+:mod:`repro.faultsim.fastsim`, attached to the report as
+:class:`~repro.design.report.EmpiricalReport`.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from concurrent import futures
 from typing import Iterable, List, Optional, Sequence
 
@@ -32,6 +40,7 @@ from repro.core.selection import (
 from repro.design.report import (
     AreaReport,
     DesignReport,
+    EmpiricalReport,
     SafetyReport,
     decoder_check_report,
 )
@@ -101,10 +110,80 @@ class DesignEngine:
         memory.selection = plan.row
         return memory
 
+    def empirical(
+        self,
+        spec: DesignSpec,
+        plan: Optional[MemoryCodePlan] = None,
+        memory: Optional[SelfCheckingMemory] = None,
+        cycles: int = 256,
+        seed: int = 7,
+        engine: str = "packed",
+        workers: Optional[int] = None,
+    ) -> EmpiricalReport:
+        """Measure the guarantees by exhaustive row-decoder fault injection.
+
+        Builds the scheme (unless ``memory`` is given), injects every
+        stuck-at fault of the row decoder tree + ROM, drives ``cycles``
+        uniform random addresses, and summarises detection — the
+        empirical counterpart of the report's analytic ``Pndc`` column.
+        """
+        from repro.faultsim.campaign import decoder_campaign
+        from repro.faultsim.injector import (
+            decoder_fault_list,
+            random_addresses,
+        )
+
+        memory = memory or self.build(spec, plan)
+        checked = memory.row
+        faults = decoder_fault_list(checked)
+        addresses = random_addresses(
+            spec.organization.p, cycles, seed=seed
+        )
+        start = time.perf_counter()
+        result = decoder_campaign(
+            checked,
+            memory.row_checker,
+            faults,
+            addresses,
+            attach_analytic=False,
+            engine=engine,
+            workers=workers,
+        )
+        wall = time.perf_counter() - start
+
+        sa0 = [r for r in result.records if r.kind == "sa0" and r.detected]
+        mean = result.mean_detection_cycle()
+        return EmpiricalReport(
+            engine=engine,
+            cycles=cycles,
+            seed=seed,
+            faults=result.total,
+            detected=result.detected,
+            coverage=result.coverage,
+            mean_detection_cycle=None if math.isnan(mean) else mean,
+            max_detection_cycle=result.max_detection_cycle(),
+            escape_fraction_at_c=result.escape_fraction_at(spec.c),
+            zero_latency_sa0=all(r.latency == 0 for r in sa0),
+            wall_time_s=wall,
+            faults_per_sec=result.total / wall if wall > 0 else 0.0,
+        )
+
     def evaluate(
-        self, spec: DesignSpec, plan: Optional[MemoryCodePlan] = None
+        self,
+        spec: DesignSpec,
+        plan: Optional[MemoryCodePlan] = None,
+        empirical: bool = False,
+        empirical_cycles: int = 256,
+        empirical_seed: int = 7,
+        engine: str = "packed",
+        workers: Optional[int] = None,
     ) -> DesignReport:
-        """Size a spec and report guarantees, area and safety."""
+        """Size a spec and report guarantees, area and safety.
+
+        With ``empirical=True`` the report also carries a measured
+        fault-injection summary (see :meth:`empirical`); ``engine`` and
+        ``workers`` select the campaign engine for that measurement.
+        """
         plan = plan or self.plan(spec)
         organization = spec.organization
 
@@ -134,12 +213,24 @@ class DesignEngine:
             ),
         )
 
+        measured = None
+        if empirical:
+            measured = self.empirical(
+                spec,
+                plan=plan,
+                cycles=empirical_cycles,
+                seed=empirical_seed,
+                engine=engine,
+                workers=workers,
+            )
+
         return DesignReport(
             spec=spec,
             row=decoder_check_report(plan.row, 1 << organization.p),
             column=decoder_check_report(plan.column, 1 << organization.s),
             area=area,
             safety=safety,
+            empirical=measured,
         )
 
     # -- batch exploration ---------------------------------------------------

@@ -28,6 +28,7 @@ __all__ = [
     "DecoderCheckReport",
     "AreaReport",
     "SafetyReport",
+    "EmpiricalReport",
     "DesignReport",
     "decoder_check_report",
 ]
@@ -99,6 +100,38 @@ class SafetyReport:
         return cls(**data)
 
 
+@dataclass(frozen=True)
+class EmpiricalReport:
+    """Measured fault-injection outcome backing the analytic guarantees.
+
+    Produced by ``DesignEngine.empirical`` (or ``evaluate(...,
+    empirical=True)``): an exhaustive stuck-at campaign on the built
+    scheme's row checked decoder, run on the packed engine by default.
+    """
+
+    engine: str
+    cycles: int
+    seed: int
+    faults: int
+    detected: int
+    coverage: float
+    #: None when nothing was detected within the horizon
+    mean_detection_cycle: Optional[float]
+    max_detection_cycle: Optional[int]
+    #: measured counterpart of Pndc at the spec's c
+    escape_fraction_at_c: float
+    zero_latency_sa0: bool
+    wall_time_s: float
+    faults_per_sec: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmpiricalReport":
+        return cls(**data)
+
+
 def decoder_check_report(
     selection: CodeSelection, rom_lines: int
 ) -> DecoderCheckReport:
@@ -135,29 +168,40 @@ class DesignReport:
     column: DecoderCheckReport
     area: AreaReport
     safety: SafetyReport
+    #: measured campaign outcome, when evaluate ran with empirical=True
+    empirical: Optional[EmpiricalReport] = None
 
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "row": self.row.to_dict(),
             "column": self.column.to_dict(),
             "area": self.area.to_dict(),
             "safety": self.safety.to_dict(),
         }
+        if self.empirical is not None:
+            data["empirical"] = self.empirical.to_dict()
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, data: dict) -> "DesignReport":
+        empirical = data.get("empirical")
         return cls(
             spec=DesignSpec.from_dict(data["spec"]),
             row=DecoderCheckReport.from_dict(data["row"]),
             column=DecoderCheckReport.from_dict(data["column"]),
             area=AreaReport.from_dict(data["area"]),
             safety=SafetyReport.from_dict(data["safety"]),
+            empirical=(
+                EmpiricalReport.from_dict(empirical)
+                if empirical is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -273,4 +317,27 @@ class DesignReport:
             f"    improvement                    : "
             f"x{self.safety.improvement_factor:.3g}\n"
         )
+
+        if self.empirical is not None:
+            emp = self.empirical
+            out.write("\nempirical validation (fault injection)\n")
+            out.write(
+                f"    campaign                       : {emp.faults} row-"
+                f"decoder faults x {emp.cycles} cycles "
+                f"({emp.engine} engine, {emp.faults_per_sec:.0f} "
+                f"faults/s)\n"
+            )
+            out.write(
+                f"    coverage within horizon        : "
+                f"{emp.coverage:.3f}\n"
+            )
+            out.write(
+                f"    measured escape at c={self.spec.c:<4d}      : "
+                f"{emp.escape_fraction_at_c:.4f}\n"
+            )
+            out.write(
+                "    stuck-at-0 zero latency        : "
+                + ("holds" if emp.zero_latency_sa0 else "VIOLATED")
+                + "\n"
+            )
         return out.getvalue()

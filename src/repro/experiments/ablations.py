@@ -18,8 +18,9 @@ Run: ``python -m repro.experiments.ablations``
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.checkers.base import Checker
 from repro.checkers.berger_checker import BergerChecker
@@ -34,6 +35,7 @@ from repro.core.mapping import (
     mapping_for_code,
 )
 from repro.decoder.analysis import analyze_decoder
+from repro.experiments.common import record_campaign_stats
 from repro.faultsim.campaign import decoder_campaign
 from repro.faultsim.injector import decoder_fault_list, random_addresses
 from repro.rom.nor_matrix import CheckedDecoder
@@ -55,10 +57,17 @@ class OddAAblation:
     #: analytically-blind stuck-at-1 sites under the even-modulus mapping
     blind_sites_berger: int
     blind_sites_mod_a: int
+    #: faults simulated across both campaigns
+    faults: int = 0
 
 
 def run_odd_a_ablation(
-    n_bits: int = 6, k: int = 2, cycles: int = 300, seed: int = 3
+    n_bits: int = 6,
+    k: int = 2,
+    cycles: int = 300,
+    seed: int = 3,
+    engine: str = "packed",
+    workers: Optional[int] = None,
 ) -> OddAAblation:
     """Same decoder, two ROM programmings: final mod-a vs §III.1 truncated."""
     code = MOutOfNCode(3, 5)
@@ -68,6 +77,7 @@ def run_odd_a_ablation(
     addresses = random_addresses(n_bits, cycles, seed=seed)
     coverages: List[float] = []
     blind_counts: List[int] = []
+    total_faults = 0
     for mapping, checker in (
         (good_mapping, MOutOfNChecker(code.m, code.n, structural=False)),
         (bad_mapping, BergerChecker(bad_mapping.info_bits)),
@@ -75,8 +85,10 @@ def run_odd_a_ablation(
         checked = CheckedDecoder(mapping)
         faults = decoder_fault_list(checked)
         result = decoder_campaign(
-            checked, checker, faults, addresses, attach_analytic=False
+            checked, checker, faults, addresses, attach_analytic=False,
+            engine=engine, workers=workers,
         )
+        total_faults += len(faults)
         coverages.append(result.coverage)
         analysis = analyze_decoder(checked.tree, mapping)
         blind_counts.append(
@@ -92,6 +104,7 @@ def run_odd_a_ablation(
         coverage_truncated_berger=coverages[1],
         blind_sites_mod_a=blind_counts[0],
         blind_sites_berger=blind_counts[1],
+        faults=total_faults,
     )
 
 
@@ -142,10 +155,16 @@ class UnorderedAblation:
     coverage_unordered: float
     coverage_ordered: float
     silent_sa0_ordered: int
+    #: faults simulated across both campaigns
+    faults: int = 0
 
 
 def run_unordered_ablation(
-    n_bits: int = 5, cycles: int = 300, seed: int = 11
+    n_bits: int = 5,
+    cycles: int = 300,
+    seed: int = 11,
+    engine: str = "packed",
+    workers: Optional[int] = None,
 ) -> UnorderedAblation:
     code = MOutOfNCode(3, 5)
     good_mapping = mapping_for_code(code, n_bits)
@@ -161,6 +180,8 @@ def run_unordered_ablation(
         decoder_fault_list(good),
         addresses,
         attach_analytic=False,
+        engine=engine,
+        workers=workers,
     )
 
     bad = CheckedDecoder(bad_mapping)
@@ -171,6 +192,8 @@ def run_unordered_ablation(
         decoder_fault_list(bad),
         addresses,
         attach_analytic=False,
+        engine=engine,
+        workers=workers,
     )
     silent_sa0 = sum(
         1
@@ -187,11 +210,17 @@ def run_unordered_ablation(
         coverage_unordered=good_result.coverage,
         coverage_ordered=bad_result.coverage,
         silent_sa0_ordered=silent_sa0,
+        faults=good_result.total + bad_result.total,
     )
 
 
-def main() -> None:
-    odd = run_odd_a_ablation()
+#: stats of the most recent main() run, surfaced by the CLI's --json
+LAST_CAMPAIGN_STATS: dict = {}
+
+
+def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+    start = time.perf_counter()
+    odd = run_odd_a_ablation(engine=engine, workers=workers)
     print("X4 — odd modulus ablation (mod-a vs truncated-Berger ROM)")
     print(f"  coverage, final mod-a mapping      : {odd.coverage_mod_a:.3f}")
     print(
@@ -203,7 +232,11 @@ def main() -> None:
         f"{odd.blind_sites_mod_a} (mod-a) vs "
         f"{odd.blind_sites_berger} (Berger)"
     )
-    uno = run_unordered_ablation()
+    uno = run_unordered_ablation(engine=engine, workers=workers)
+    record_campaign_stats(
+        LAST_CAMPAIGN_STATS, engine, odd.faults + uno.faults,
+        time.perf_counter() - start,
+    )
     print("X5 — unordered-code ablation (3-out-of-5 vs ordered systematic)")
     print(
         f"  AND of distinct words is non-code  : "

@@ -14,7 +14,32 @@ __all__ = [
     "ORG_LABELS",
     "parse_code_name",
     "format_table",
+    "record_campaign_stats",
 ]
+
+
+def record_campaign_stats(
+    store: Dict[str, object],
+    engine: str,
+    faults: int,
+    wall_time_s: float,
+    **extra: object,
+) -> None:
+    """Refresh a module's ``LAST_CAMPAIGN_STATS`` in place.
+
+    The CLI's ``--json`` surfaces this dict as the ``campaign`` payload
+    for engine-aware experiment commands.
+    """
+    store.clear()
+    store.update(
+        engine=engine,
+        faults=faults,
+        wall_time_s=round(wall_time_s, 6),
+        faults_per_sec=(
+            round(faults / wall_time_s, 2) if wall_time_s > 0 else 0.0
+        ),
+        **extra,
+    )
 
 #: Table (1): Pndc = 1e-9, c swept.  code name -> (16x2K, 32x4K, 64x8K) %.
 TABLE1_PAPER: Dict[int, Tuple[str, Tuple[float, float, float]]] = {

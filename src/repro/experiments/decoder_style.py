@@ -18,6 +18,7 @@ Run: ``python -m repro.experiments.decoder_style``
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -25,6 +26,7 @@ from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import ParityMapping, mapping_for_code
 from repro.decoder.flat import FlatDecoder
+from repro.experiments.common import record_campaign_stats
 from repro.decoder.tree import DecoderTree
 from repro.faultsim.campaign import decoder_campaign
 from repro.faultsim.injector import decoder_fault_list, random_addresses
@@ -44,7 +46,9 @@ class StyleResult:
     mean_latency: float
 
 
-def _campaign(checked, checker, cycles, seed) -> StyleResult:
+def _campaign(
+    checked, checker, cycles, seed, engine="packed", workers=None
+) -> StyleResult:
     # Branch (pin) faults included: the single-level decoder's strength
     # is precisely that its AND-gate branch faults merge addresses one
     # bit apart.  ROM gates excluded (same checking logic both styles).
@@ -67,7 +71,8 @@ def _campaign(checked, checker, cycles, seed) -> StyleResult:
     ]
     addresses = random_addresses(checked.n, cycles, seed=seed)
     result = decoder_campaign(
-        checked, checker, faults, addresses, attach_analytic=False
+        checked, checker, faults, addresses, attach_analytic=False,
+        engine=engine, workers=workers,
     )
     excited = [r for r in result.records if r.first_error is not None]
     zero = sum(
@@ -87,7 +92,11 @@ def _campaign(checked, checker, cycles, seed) -> StyleResult:
 
 
 def run_decoder_style_experiment(
-    n_bits: int = 6, cycles: int = 400, seed: int = 23
+    n_bits: int = 6,
+    cycles: int = 400,
+    seed: int = 23,
+    engine: str = "packed",
+    workers: Optional[int] = None,
 ) -> List[StyleResult]:
     """Three configurations: flat+parity, tree+parity, tree+3-out-of-5."""
     parity_checker = MOutOfNChecker(1, 2, structural=False)
@@ -96,14 +105,16 @@ def run_decoder_style_experiment(
     flat = CheckedDecoder(
         ParityMapping(n_bits), decoder=FlatDecoder(n_bits)
     )
-    row = _campaign(flat, parity_checker, cycles, seed)
+    row = _campaign(flat, parity_checker, cycles, seed, engine, workers)
     row.label = "single-level + 1-out-of-2 parity"
     results.append(row)
 
     tree_parity = CheckedDecoder(
         ParityMapping(n_bits), decoder=DecoderTree(n_bits)
     )
-    row = _campaign(tree_parity, parity_checker, cycles, seed)
+    row = _campaign(
+        tree_parity, parity_checker, cycles, seed, engine, workers
+    )
     row.label = "multilevel + 1-out-of-2 parity"
     results.append(row)
 
@@ -114,14 +125,25 @@ def run_decoder_style_experiment(
         MOutOfNChecker(code.m, code.n, structural=False),
         cycles,
         seed,
+        engine,
+        workers,
     )
     row.label = "multilevel + 3-out-of-5 mod-a (this paper)"
     results.append(row)
     return results
 
 
-def main() -> None:
-    results = run_decoder_style_experiment()
+#: stats of the most recent main() run, surfaced by the CLI's --json
+LAST_CAMPAIGN_STATS: dict = {}
+
+
+def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+    start = time.perf_counter()
+    results = run_decoder_style_experiment(engine=engine, workers=workers)
+    record_campaign_stats(
+        LAST_CAMPAIGN_STATS, engine, sum(row.faults for row in results),
+        time.perf_counter() - start,
+    )
     print("X10 — decoder style vs checking scheme (first-error latency)")
     for row in results:
         worst = "-" if row.worst_latency is None else row.worst_latency

@@ -6,11 +6,17 @@ experiment validates it by brute force: build a checked decoder, inject
 the measured survival function (fraction of faults still undetected after
 ``c`` cycles) against the analytic per-site predictions.
 
+The campaign runs on the packed engine by default (``engine="serial"``
+selects the reference oracle, ``workers=N`` shards the fault list);
+wall time and faults/sec are recorded on the result and surfaced by the
+CLI's ``--json``.
+
 Run: ``python -m repro.experiments.latency_empirical``
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -18,7 +24,7 @@ from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import mapping_for_code
 from repro.decoder.analysis import analyze_decoder
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, record_campaign_stats
 from repro.faultsim.campaign import decoder_campaign
 from repro.faultsim.injector import decoder_fault_list, random_addresses
 from repro.rom.nor_matrix import CheckedDecoder
@@ -42,6 +48,11 @@ class LatencyExperiment:
     analytic_worst_escape: float
     coverage: float
     zero_latency_sa0: bool
+    #: campaign engine ('packed' | 'serial') and its throughput
+    engine: str = "packed"
+    faults: int = 0
+    wall_time_s: float = 0.0
+    faults_per_sec: float = 0.0
 
 
 def survival_curve(
@@ -75,6 +86,8 @@ def run_latency_experiment(
     cycles: int = 400,
     seed: int = 7,
     checkpoints: List[int] = None,
+    engine: str = "packed",
+    workers: Optional[int] = None,
 ) -> LatencyExperiment:
     code = code or MOutOfNCode(3, 5)
     checkpoints = checkpoints or [1, 2, 5, 10, 20, 50, 100, 200]
@@ -83,7 +96,11 @@ def run_latency_experiment(
     checker = MOutOfNChecker(code.m, code.n, structural=False)
     faults = decoder_fault_list(checked)
     addresses = random_addresses(n_bits, cycles, seed=seed)
-    result = decoder_campaign(checked, checker, faults, addresses)
+    start = time.perf_counter()
+    result = decoder_campaign(
+        checked, checker, faults, addresses, engine=engine, workers=workers
+    )
+    wall = time.perf_counter() - start
     analysis = analyze_decoder(checked.tree, mapping)
 
     # zero-latency check for s-a-0: latency (detection - first error) == 0
@@ -100,11 +117,23 @@ def run_latency_experiment(
         analytic_worst_escape=float(analysis.worst_escape()),
         coverage=result.coverage,
         zero_latency_sa0=zero_latency,
+        engine=engine,
+        faults=len(faults),
+        wall_time_s=wall,
+        faults_per_sec=len(faults) / wall if wall > 0 else 0.0,
     )
 
 
-def main() -> None:
-    exp = run_latency_experiment()
+#: stats of the most recent main() run, surfaced by the CLI's --json
+LAST_CAMPAIGN_STATS: Dict[str, object] = {}
+
+
+def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+    exp = run_latency_experiment(engine=engine, workers=workers)
+    record_campaign_stats(
+        LAST_CAMPAIGN_STATS, exp.engine, exp.faults, exp.wall_time_s,
+        cycles=exp.cycles,
+    )
     print(
         f"Empirical latency validation: n={exp.n_bits} decoder, "
         f"{exp.code.name} code, {exp.cycles} random cycles"
@@ -123,6 +152,11 @@ def main() -> None:
     print(
         "stuck-at-0 zero-latency claim: "
         + ("holds" if exp.zero_latency_sa0 else "VIOLATED")
+    )
+    print(
+        f"campaign engine: {exp.engine}, {exp.faults} faults in "
+        f"{exp.wall_time_s * 1e3:.1f} ms "
+        f"({exp.faults_per_sec:.0f} faults/s)"
     )
 
 

@@ -1,9 +1,22 @@
-"""Monte-Carlo fault-injection campaigns and their result statistics."""
+"""Monte-Carlo fault-injection campaigns and their result statistics.
+
+Campaigns run on one of two engines (``engine=`` on the drivers):
+``"packed"`` — the default bit-parallel engine of
+:mod:`repro.faultsim.fastsim`, one netlist traversal per fault with
+structural fault collapsing and optional ``workers=N`` process-pool
+sharding — or ``"serial"``, the per-cycle reference oracle the packed
+engine is proven bit-identical against.
+"""
 
 from repro.faultsim.campaign import (
     classify_structural_fault,
     decoder_campaign,
+    default_scheme_writer,
     scheme_campaign,
+)
+from repro.faultsim.fastsim import (
+    decoder_campaign_packed,
+    scheme_campaign_packed,
 )
 from repro.faultsim.injector import (
     burst_addresses,
@@ -27,8 +40,11 @@ __all__ = [
     "transient_campaign",
     "scrubbed_stream",
     "decoder_campaign",
+    "decoder_campaign_packed",
     "scheme_campaign",
+    "scheme_campaign_packed",
     "classify_structural_fault",
+    "default_scheme_writer",
     "random_addresses",
     "sequential_addresses",
     "burst_addresses",

@@ -12,14 +12,24 @@ Two levels of campaign:
 Both return :class:`~repro.faultsim.results.CampaignResult`, whose
 ``escape_fraction_at(c)`` is the empirical counterpart of the analytic
 ``Pndc`` — the X2 bench overlays the two.
+
+Two engines drive each campaign, selected with ``engine=``:
+
+* ``"packed"`` (default) — the bit-parallel PPSFP-style engine of
+  :mod:`repro.faultsim.fastsim`: one packed netlist traversal per
+  simulated fault, collapsing on by default, optional ``workers=N``
+  process pool;
+* ``"serial"`` — the original per-cycle loops below, kept as the
+  reference oracle the packed engine is proven bit-identical against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.checkers.base import Checker
 from repro.circuits.faults import FaultBase, NetStuckAt
+from repro.circuits.simulator import check_engine
 from repro.core.scheme import SelfCheckingMemory
 from repro.decoder.analysis import analyze_decoder
 from repro.faultsim.results import CampaignResult, FaultRecord
@@ -30,6 +40,8 @@ __all__ = [
     "decoder_campaign",
     "scheme_campaign",
     "classify_structural_fault",
+    "default_scheme_writer",
+    "analytic_escapes",
 ]
 
 
@@ -55,12 +67,30 @@ def classify_structural_fault(
     return "pin"
 
 
+def analytic_escapes(checked: CheckedDecoder) -> dict:
+    """fault key -> per-cycle escape from the §III.2 site analysis.
+
+    The one attachment table both campaign engines draw from, so the
+    serial oracle and the packed engine can never diverge on analytic
+    data.
+    """
+    analysis = analyze_decoder(checked.tree, checked.mapping)
+    return {
+        site.fault.key(): float(site.escape_per_cycle)
+        for site in analysis.sites
+        if site.escape_per_cycle is not None
+    }
+
+
 def decoder_campaign(
     checked: CheckedDecoder,
     checker: Checker,
     faults: Sequence[FaultBase],
     addresses: Sequence[int],
     attach_analytic: bool = True,
+    engine: str = "packed",
+    collapse: bool = True,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Simulate each fault against the address stream.
 
@@ -72,28 +102,41 @@ def decoder_campaign(
     the escape the paper's model quantifies.  The latency (detection
     minus first error) then makes the paper's "zero detection latency"
     claims checkable as ``latency == 0``.
-    """
-    analytic = None
-    if attach_analytic:
-        analytic = {}
-        analysis = analyze_decoder(checked.tree, checked.mapping)
-        for site in analysis.sites:
-            if site.escape_per_cycle is not None:
-                analytic[site.fault.key()] = float(site.escape_per_cycle)
 
-    num_lines = 1 << checked.n
-    one_hot = [
-        tuple(1 if line == a else 0 for line in range(num_lines))
-        for a in range(num_lines)
-    ]
-    result = CampaignResult(cycles_simulated=len(addresses))
+    ``engine="packed"`` (default) simulates the whole stream in one
+    netlist traversal per fault with collapsing (``collapse=False``
+    disables it) and optional process-pool sharding (``workers=N``);
+    ``engine="serial"`` runs the per-cycle reference loop.
+    """
+    check_engine(engine)
+    if engine == "packed":
+        from repro.faultsim.fastsim import decoder_campaign_packed
+
+        return decoder_campaign_packed(
+            checked,
+            checker,
+            faults,
+            addresses,
+            attach_analytic=attach_analytic,
+            collapse=collapse,
+            workers=workers,
+        )
+
+    analytic = analytic_escapes(checked) if attach_analytic else None
+
+    result = CampaignResult(
+        cycles_simulated=len(addresses), engine="serial"
+    )
     for fault in faults:
         kind = classify_structural_fault(checked, fault)
         first_error: Optional[int] = None
         first_detection: Optional[int] = None
         for cycle, address in enumerate(addresses):
             lines, rom_word = checked.evaluate(address, faults=(fault,))
-            if first_error is None and lines != one_hot[address]:
+            # correct selection = exactly the addressed line active
+            if first_error is None and (
+                lines[address] != 1 or sum(lines) != 1
+            ):
                 first_error = cycle
             if not checker.accepts(rom_word):
                 first_detection = cycle
@@ -113,6 +156,17 @@ def decoder_campaign(
     return result
 
 
+def default_scheme_writer(memory: SelfCheckingMemory) -> None:
+    """Address-dependent mixing pattern: distinct rows hold distinct
+    words, so aliased reads disturb the data path observably."""
+    bits = memory.organization.bits
+    for address in range(memory.organization.words):
+        pattern = tuple(
+            ((address * 0x9E3779B1) >> i) & 1 for i in range(bits)
+        )
+        memory.write(address, pattern)
+
+
 def scheme_campaign(
     memory: SelfCheckingMemory,
     addresses: Sequence[int],
@@ -120,28 +174,41 @@ def scheme_campaign(
     column_faults: Iterable[FaultBase] = (),
     memory_faults: Iterable[MemoryFault] = (),
     writer: Optional[Callable[[SelfCheckingMemory], None]] = None,
+    engine: str = "packed",
+    collapse: bool = True,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """End-to-end campaign on the assembled scheme.
 
     ``writer`` initialises memory contents before each fault run (default:
-    address-dependent pattern so decoder aliasing is observable in the
-    data path too).
+    :func:`default_scheme_writer`, an address-dependent pattern so decoder
+    aliasing is observable in the data path too).
+
+    ``engine``/``collapse``/``workers`` select the packed fast path as in
+    :func:`decoder_campaign`; ``engine="serial"`` is the per-cycle
+    reference oracle.
     """
+    check_engine(engine)
+    if engine == "packed":
+        from repro.faultsim.fastsim import scheme_campaign_packed
 
-    def default_writer(mem: SelfCheckingMemory) -> None:
-        # Address-dependent mixing pattern: distinct rows hold distinct
-        # words, so aliased reads disturb the data path observably.
-        bits = mem.organization.bits
-        for address in range(mem.organization.words):
-            pattern = tuple(
-                ((address * 0x9E3779B1) >> i) & 1 for i in range(bits)
-            )
-            mem.write(address, pattern)
+        return scheme_campaign_packed(
+            memory,
+            addresses,
+            row_faults=row_faults,
+            column_faults=column_faults,
+            memory_faults=memory_faults,
+            writer=writer,
+            collapse=collapse,
+            workers=workers,
+        )
 
-    fill = writer or default_writer
+    fill = writer or default_scheme_writer
     fill(memory)
 
-    result = CampaignResult(cycles_simulated=len(addresses))
+    result = CampaignResult(
+        cycles_simulated=len(addresses), engine="serial"
+    )
 
     def run_one(fault, kind: str, inject: Callable[[], None]) -> None:
         memory.clear_faults()

@@ -42,6 +42,9 @@ class CampaignResult:
 
     records: List[FaultRecord] = field(default_factory=list)
     cycles_simulated: int = 0
+    #: which engine produced the records ('serial' | 'packed');
+    #: None for hand-assembled results
+    engine: Optional[str] = None
 
     def add(self, record: FaultRecord) -> None:
         self.records.append(record)
@@ -116,7 +119,11 @@ class CampaignResult:
         out: Dict[str, CampaignResult] = {}
         for record in self.records:
             out.setdefault(
-                record.kind, CampaignResult(cycles_simulated=self.cycles_simulated)
+                record.kind,
+                CampaignResult(
+                    cycles_simulated=self.cycles_simulated,
+                    engine=self.engine,
+                ),
             ).add(record)
         return out
 
@@ -128,4 +135,5 @@ class CampaignResult:
             "mean_detection_cycle": self.mean_detection_cycle(),
             "max_detection_cycle": self.max_detection_cycle(),
             "cycles_simulated": self.cycles_simulated,
+            "engine": self.engine,
         }
