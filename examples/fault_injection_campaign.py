@@ -1,13 +1,15 @@
 """Fault-injection campaign — measure detection latency, don't just trust it.
 
 Builds a checked decoder (6 address bits, 3-out-of-5 code), enumerates
-every stuck-at fault in the gate-level tree, replays a random address
-stream against each, and prints:
+every stuck-at fault in the gate-level tree, replays a seeded
+`Workload` against each through the unified `CampaignEngine`, and
+prints:
 
 * the measured first-detection-cycle histogram ("the latency figure" the
   paper's model predicts);
 * measured vs analytic escape fraction at several latencies c;
-* the zero-latency verdicts for stuck-at-0 faults.
+* the zero-latency verdicts for stuck-at-0 faults;
+* a bursty-traffic ablation (same faults, a different workload value).
 
 Run: ``python examples/fault_injection_campaign.py``
 """
@@ -18,14 +20,9 @@ from repro.core.mapping import mapping_for_code
 from repro.decoder.analysis import analyze_decoder
 from repro.experiments.common import format_table
 from repro.experiments.latency_empirical import survival_curve
-from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import (
-    burst_addresses,
-    decoder_fault_list,
-    random_addresses,
-    rom_fault_list,
-)
+from repro.faultsim.injector import decoder_fault_list, rom_fault_list
 from repro.rom.nor_matrix import CheckedDecoder
+from repro.scenarios import CampaignEngine, Workload
 
 
 def main() -> None:
@@ -34,6 +31,7 @@ def main() -> None:
     mapping = mapping_for_code(code, n_bits)
     checked = CheckedDecoder(mapping)
     checker = MOutOfNChecker(code.m, code.n, structural=False)
+    engine = CampaignEngine()  # packed fast path, collapsing on
 
     faults = decoder_fault_list(checked) + rom_fault_list(checked)
     print(
@@ -42,8 +40,8 @@ def main() -> None:
         f"{len(faults)} stuck-at faults"
     )
 
-    addresses = random_addresses(n_bits, cycles, seed=42)
-    result = decoder_campaign(checked, checker, faults, addresses)
+    workload = Workload.uniform(1 << n_bits, cycles, seed=42)
+    result = engine.decoder(checked, checker, faults, workload)
     print(f"coverage within {cycles} random cycles: {result.coverage:.3f}")
 
     print("\nfirst-detection-cycle histogram:")
@@ -67,8 +65,8 @@ def main() -> None:
     )
 
     # The model assumes uniform traffic; bursty traffic detects slower.
-    bursty = burst_addresses(n_bits, cycles, locality=4, seed=42)
-    bursty_result = decoder_campaign(
+    bursty = Workload.bursty(1 << n_bits, cycles, locality=4, seed=42)
+    bursty_result = engine.decoder(
         checked, checker, decoder_fault_list(checked), bursty,
         attach_analytic=False,
     )

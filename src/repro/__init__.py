@@ -41,10 +41,23 @@ Layer map
 ``repro.area``     the §IV analytic model and the calibrated std-cell model
 ``repro.core``     code selection, mappings, latency math, the figure-3
                    scheme, safety model, trade-off explorer
+``repro.scenarios`` the unified scenario layer: Workload stimuli,
+                   FaultScenario hierarchy, CampaignEngine facade
 ``repro.faultsim`` fault-injection campaigns: packed bit-parallel
                    engine (default) + the serial reference oracle
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
+
+Campaign quick path (1.3+)::
+
+    from repro import CampaignEngine, Workload, TransientScenario
+
+    engine = CampaignEngine()            # packed fast path
+    result = engine.transient(
+        ram,
+        [TransientScenario.single(address=5, bit=2, cycle=100)],
+        Workload.scrubbed(words=256, cycles=4096, scrub_period=8, seed=1),
+    )
 """
 
 from repro.area.model import PaperAreaModel
@@ -77,14 +90,28 @@ from repro.memory.organization import (
     MemoryOrganization,
     paper_org,
 )
+from repro.scenarios import (
+    CampaignEngine,
+    FaultScenario,
+    MemoryScenario,
+    StructuralScenario,
+    TransientScenario,
+    Workload,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     "DesignSpec",
     "DesignEngine",
     "DesignReport",
+    "CampaignEngine",
+    "Workload",
+    "FaultScenario",
+    "StructuralScenario",
+    "MemoryScenario",
+    "TransientScenario",
     "MOutOfNCode",
     "maximal_code_for_width",
     "ParityCode",

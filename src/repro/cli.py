@@ -123,6 +123,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         column_zero_latency=not args.shared_column_code,
         checker_style=args.checker_style,
         decoder_style=args.decoder_style,
+        workload=args.workload,
     )
     report = DesignEngine().evaluate(
         spec,
@@ -246,7 +247,9 @@ class ExperimentCommand:
     module: str
     help: str
     #: name of a module-level ``generate_*`` returning dataclass rows,
-    #: exposed as structured data under ``--json``
+    #: exposed as structured data under ``--json``; on engine-aware
+    #: commands the generator takes (engine=, workers=) so the rows are
+    #: produced by the engine the user selected
     rows_attr: Optional[str] = None
     #: campaign-driven commands grow --packed/--serial and --workers
     #: and report wall time + faults/sec under --json
@@ -278,7 +281,8 @@ class ExperimentCommand:
                     payload["campaign"] = dict(stats)
             if self.rows_attr is not None:
                 payload["rows"] = [
-                    asdict(row) for row in getattr(module, self.rows_attr)()
+                    asdict(row)
+                    for row in getattr(module, self.rows_attr)(**kwargs)
                 ]
             _emit(args, json.dumps(payload, indent=2))
         else:
@@ -329,6 +333,18 @@ EXPERIMENTS = (
     ExperimentCommand(
         "figures", "repro.experiments.figures",
         "ASCII trade-off and survival curves",
+    ),
+    ExperimentCommand(
+        "transient", "repro.experiments.transient_campaign",
+        "transient-upset latency across workload families",
+        rows_attr="generate_transient_rows",
+        engine_aware=True,
+    ),
+    ExperimentCommand(
+        "march", "repro.experiments.march_campaign",
+        "march-algorithm coverage over behavioural faults",
+        rows_attr="generate_march_rows",
+        engine_aware=True,
     ),
 )
 
@@ -385,6 +401,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--empirical-cycles", type=int, default=256, metavar="CYCLES"
+    )
+    from repro.scenarios import NAMED_WORKLOADS
+
+    report.add_argument(
+        "--workload",
+        choices=NAMED_WORKLOADS,
+        default=None,
+        help="traffic family driving the --empirical measurement "
+        "(default: uniform; 'march' is one full March C- sweep and "
+        "ignores --empirical-cycles)",
     )
     _add_engine_options(report)
     _add_output_options(report)

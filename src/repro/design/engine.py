@@ -123,22 +123,32 @@ class DesignEngine:
         """Measure the guarantees by exhaustive row-decoder fault injection.
 
         Builds the scheme (unless ``memory`` is given), injects every
-        stuck-at fault of the row decoder tree + ROM, drives ``cycles``
-        uniform random addresses, and summarises detection — the
-        empirical counterpart of the report's analytic ``Pndc`` column.
+        stuck-at fault of the row decoder tree + ROM, drives the spec's
+        workload against the row decoder (``spec.workload``; default
+        ``cycles`` uniform random addresses), and summarises detection —
+        the empirical counterpart of the report's analytic ``Pndc``
+        column.
         """
         from repro.faultsim.campaign import decoder_campaign
-        from repro.faultsim.injector import (
-            decoder_fault_list,
-            random_addresses,
-        )
+        from repro.faultsim.injector import decoder_fault_list
+        from repro.scenarios.workload import Workload, named_workload
 
         memory = memory or self.build(spec, plan)
         checked = memory.row
         faults = decoder_fault_list(checked)
-        addresses = random_addresses(
-            spec.organization.p, cycles, seed=seed
-        )
+        space = 1 << spec.organization.p
+        if spec.workload is None:
+            workload = Workload.uniform(space, cycles, seed=seed)
+        elif isinstance(spec.workload, str):
+            workload = named_workload(spec.workload, space, cycles, seed)
+        else:
+            workload = spec.workload
+        addresses = workload.address_list()
+        if addresses and max(addresses) >= space:
+            raise ValueError(
+                f"workload {workload.label()} addresses exceed the "
+                f"{space}-line row decoder of {spec.organization.label()}"
+            )
         start = time.perf_counter()
         result = decoder_campaign(
             checked,
@@ -155,8 +165,9 @@ class DesignEngine:
         mean = result.mean_detection_cycle()
         return EmpiricalReport(
             engine=engine,
-            cycles=cycles,
+            cycles=len(addresses),
             seed=seed,
+            workload=workload.label(),
             faults=result.total,
             detected=result.detected,
             coverage=result.coverage,

@@ -123,6 +123,8 @@ class EmpiricalReport:
     zero_latency_sa0: bool
     wall_time_s: float
     faults_per_sec: float
+    #: label of the Workload that drove the campaign (1.3+)
+    workload: Optional[str] = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -327,6 +329,11 @@ class DesignReport:
                 f"({emp.engine} engine, {emp.faults_per_sec:.0f} "
                 f"faults/s)\n"
             )
+            if emp.workload is not None:
+                out.write(
+                    f"    workload                       : "
+                    f"{emp.workload}\n"
+                )
             out.write(
                 f"    coverage within horizon        : "
                 f"{emp.coverage:.3f}\n"

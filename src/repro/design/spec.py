@@ -52,6 +52,14 @@ class DesignSpec:
     row_code
         Optional explicit row code spec (e.g. ``"3-out-of-5"``) that
         bypasses the (c, Pndc) sizing — for table sweeps and ablations.
+    workload
+        Traffic the empirical measurement drives the row decoder with: a
+        family name from :data:`repro.scenarios.NAMED_WORKLOADS`
+        (``"uniform"``, ``"bursty"``, ...; resolved against the
+        organisation at evaluation time), a full
+        :class:`repro.scenarios.Workload` value (pins every parameter,
+        serialises with the spec), or ``None`` for the default uniform
+        stream.
     """
 
     words: int
@@ -64,10 +72,32 @@ class DesignSpec:
     checker_style: str = "behavioural"
     decoder_style: str = "tree"
     row_code: Optional[str] = None
+    workload: Optional[object] = None
 
     def __post_init__(self):
         if isinstance(self.policy, str):
             object.__setattr__(self, "policy", SelectionPolicy(self.policy))
+        if self.workload is not None:
+            from repro.scenarios.workload import (
+                NAMED_WORKLOADS,
+                Workload,
+            )
+
+            if isinstance(self.workload, dict):
+                object.__setattr__(
+                    self, "workload", Workload.from_dict(self.workload)
+                )
+            elif isinstance(self.workload, str):
+                if self.workload not in NAMED_WORKLOADS:
+                    raise ValueError(
+                        f"unknown workload family {self.workload!r}; "
+                        f"known: {NAMED_WORKLOADS}"
+                    )
+            elif not isinstance(self.workload, Workload):
+                raise ValueError(
+                    f"workload must be a family name, a Workload or a "
+                    f"workload dict, got {self.workload!r}"
+                )
         # MemoryOrganization carries the power-of-two / mux validation;
         # cache it — the engine and report reader hit the property often.
         object.__setattr__(
@@ -157,6 +187,10 @@ class DesignSpec:
     def to_dict(self) -> dict:
         data = dataclasses.asdict(self)
         data["policy"] = self.policy.value
+        if self.workload is not None and not isinstance(self.workload, str):
+            # asdict() recursed into the Workload dataclass and lost its
+            # kind tag; serialise through the workload's own protocol
+            data["workload"] = self.workload.to_dict()
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -37,7 +37,8 @@ from repro.core.mapping import (
 from repro.decoder.analysis import analyze_decoder
 from repro.experiments.common import record_campaign_stats
 from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import decoder_fault_list, random_addresses
+from repro.faultsim.injector import decoder_fault_list
+from repro.scenarios import Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = [
@@ -74,7 +75,7 @@ def run_odd_a_ablation(
     good_mapping = mapping_for_code(code, n_bits)
     bad_mapping = TruncatedBergerMapping(n_bits, k=k)
 
-    addresses = random_addresses(n_bits, cycles, seed=seed)
+    addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
     coverages: List[float] = []
     blind_counts: List[int] = []
     total_faults = 0
@@ -171,7 +172,7 @@ def run_unordered_ablation(
     bad_mapping = _OrderedCodeMapping(
         n_bits, width=code.n, used=good_mapping.a
     )
-    addresses = random_addresses(n_bits, cycles, seed=seed)
+    addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
 
     good = CheckedDecoder(good_mapping)
     good_result = decoder_campaign(

@@ -29,7 +29,8 @@ from repro.decoder.flat import FlatDecoder
 from repro.experiments.common import record_campaign_stats
 from repro.decoder.tree import DecoderTree
 from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import decoder_fault_list, random_addresses
+from repro.faultsim.injector import decoder_fault_list
+from repro.scenarios import Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = ["StyleResult", "run_decoder_style_experiment", "main"]
@@ -69,7 +70,7 @@ def _campaign(
             not isinstance(f, PinStuckAt) and f.net in checked.rom_nets
         )
     ]
-    addresses = random_addresses(checked.n, cycles, seed=seed)
+    addresses = Workload.uniform(1 << checked.n, cycles, seed=seed)
     result = decoder_campaign(
         checked, checker, faults, addresses, attach_analytic=False,
         engine=engine, workers=workers,

@@ -26,7 +26,8 @@ from repro.core.mapping import mapping_for_code
 from repro.decoder.analysis import analyze_decoder
 from repro.experiments.common import format_table, record_campaign_stats
 from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import decoder_fault_list, random_addresses
+from repro.faultsim.injector import decoder_fault_list
+from repro.scenarios import Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = [
@@ -95,7 +96,7 @@ def run_latency_experiment(
     checked = CheckedDecoder(mapping)
     checker = MOutOfNChecker(code.m, code.n, structural=False)
     faults = decoder_fault_list(checked)
-    addresses = random_addresses(n_bits, cycles, seed=seed)
+    addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
     start = time.perf_counter()
     result = decoder_campaign(
         checked, checker, faults, addresses, engine=engine, workers=workers

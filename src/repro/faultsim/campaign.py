@@ -25,7 +25,7 @@ Two engines drive each campaign, selected with ``engine=``:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.checkers.base import Checker
 from repro.circuits.faults import FaultBase, NetStuckAt
@@ -43,6 +43,13 @@ __all__ = [
     "default_scheme_writer",
     "analytic_escapes",
 ]
+
+
+def _address_stream(addresses) -> List[int]:
+    """Materialise a stimulus: a 1.3 ``Workload`` or a bare sequence."""
+    if hasattr(addresses, "address_list"):
+        return addresses.address_list()
+    return list(addresses)
 
 
 def classify_structural_fault(
@@ -86,11 +93,12 @@ def decoder_campaign(
     checked: CheckedDecoder,
     checker: Checker,
     faults: Sequence[FaultBase],
-    addresses: Sequence[int],
+    addresses: Union[Sequence[int], "object"],
     attach_analytic: bool = True,
     engine: str = "packed",
     collapse: bool = True,
     workers: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> CampaignResult:
     """Simulate each fault against the address stream.
 
@@ -103,12 +111,17 @@ def decoder_campaign(
     minus first error) then makes the paper's "zero detection latency"
     claims checkable as ``latency == 0``.
 
-    ``engine="packed"`` (default) simulates the whole stream in one
-    netlist traversal per fault with collapsing (``collapse=False``
-    disables it) and optional process-pool sharding (``workers=N``);
-    ``engine="serial"`` runs the per-cycle reference loop.
+    ``addresses`` may be a bare address sequence or any
+    :class:`repro.scenarios.Workload` (its address-per-cycle view is
+    used).  ``engine="packed"`` (default) simulates the whole stream in
+    one netlist traversal per fault with collapsing (``collapse=False``
+    disables it), optional process-pool sharding (``workers=N``) and
+    optional bounded-memory lane windows (``chunk=W``; packed only,
+    results invariant in W); ``engine="serial"`` runs the per-cycle
+    reference loop.
     """
     check_engine(engine)
+    addresses = _address_stream(addresses)
     if engine == "packed":
         from repro.faultsim.fastsim import decoder_campaign_packed
 
@@ -120,6 +133,7 @@ def decoder_campaign(
             attach_analytic=attach_analytic,
             collapse=collapse,
             workers=workers,
+            chunk=chunk,
         )
 
     analytic = analytic_escapes(checked) if attach_analytic else None
@@ -169,7 +183,7 @@ def default_scheme_writer(memory: SelfCheckingMemory) -> None:
 
 def scheme_campaign(
     memory: SelfCheckingMemory,
-    addresses: Sequence[int],
+    addresses: Union[Sequence[int], "object"],
     row_faults: Iterable[FaultBase] = (),
     column_faults: Iterable[FaultBase] = (),
     memory_faults: Iterable[MemoryFault] = (),
@@ -186,9 +200,11 @@ def scheme_campaign(
 
     ``engine``/``collapse``/``workers`` select the packed fast path as in
     :func:`decoder_campaign`; ``engine="serial"`` is the per-cycle
-    reference oracle.
+    reference oracle.  ``addresses`` accepts a bare sequence or a
+    :class:`repro.scenarios.Workload`.
     """
     check_engine(engine)
+    addresses = _address_stream(addresses)
     if engine == "packed":
         from repro.faultsim.fastsim import scheme_campaign_packed
 

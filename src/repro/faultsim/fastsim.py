@@ -278,11 +278,42 @@ def _map_jobs(worker, context, jobs: List, workers: Optional[int]) -> List:
 
 
 def _decoder_worker(payload):
-    (checked, checker, addresses), reps = payload
-    stream = PackedStream(checked, addresses)
-    return [
-        _decoder_fault_outcome(checker, stream, fault) for fault in reps
-    ]
+    """(first_error, first_detection) per representative fault.
+
+    ``chunk=None`` packs the whole stream into one lane set;
+    ``chunk=W`` processes W-lane windows in stream order — the
+    bounded-memory path (per-net lane words stay W bits wide however
+    long the stream is).  Faults whose detection lands in an early
+    window drop out of later ones, exactly mirroring the serial loop's
+    per-fault ``break``; results are bit-identical for every W (the
+    chunked-lane invariance property test pins this).
+    """
+    (checked, checker, addresses, chunk), reps = payload
+    if chunk is None or chunk >= len(addresses):
+        stream = PackedStream(checked, addresses)
+        return [
+            _decoder_fault_outcome(checker, stream, fault) for fault in reps
+        ]
+    outcomes: List[List[Optional[int]]] = [[None, None] for _ in reps]
+    active = list(range(len(reps)))
+    offset = 0
+    for start in range(0, len(addresses), chunk):
+        window = addresses[start : start + chunk]
+        stream = PackedStream(checked, window)
+        survivors = []
+        for index in active:
+            err, det = _decoder_fault_outcome(checker, stream, reps[index])
+            if outcomes[index][0] is None and err is not None:
+                outcomes[index][0] = offset + err
+            if det is not None:
+                outcomes[index][1] = offset + det
+            else:
+                survivors.append(index)
+        active = survivors
+        offset += len(window)
+        if not active:
+            break
+    return [tuple(outcome) for outcome in outcomes]
 
 
 # -- decoder campaigns -------------------------------------------------------
@@ -296,24 +327,32 @@ def decoder_campaign_packed(
     attach_analytic: bool = True,
     collapse: bool = True,
     workers: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> CampaignResult:
     """Packed counterpart of :func:`repro.faultsim.campaign.decoder_campaign`.
 
     Bit-identical records, one netlist traversal per simulated fault
     (class representatives when ``collapse``), ``workers=N`` shards the
-    representative list over a process pool.
+    representative list over a process pool, ``chunk=W`` bounds packed
+    lane words to W bits (see :func:`_decoder_worker`).
     """
     from repro.faultsim.campaign import (
         analytic_escapes,
         classify_structural_fault,
     )
 
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be >= 1 lanes, got {chunk}")
+
     analytic = analytic_escapes(checked) if attach_analytic else None
 
     faults = list(faults)
     reps, key_to_group = _fault_groups(checked.circuit, faults, collapse)
     outcomes = _map_jobs(
-        _decoder_worker, (checked, checker, list(addresses)), reps, workers
+        _decoder_worker,
+        (checked, checker, list(addresses), chunk),
+        reps,
+        workers,
     )
 
     result = CampaignResult(

@@ -1,12 +1,19 @@
-"""Stimulus generation and fault-list construction for campaigns."""
+"""Stimulus generation and fault-list construction for campaigns.
+
+The address-stream helpers are thin shims over the 1.3
+:class:`repro.scenarios.Workload` vocabulary (bit-identical traces);
+new code should build workloads directly — they compose, serialise and
+chunk-iterate, which bare lists cannot.
+"""
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.circuits.faults import FaultBase, NetStuckAt
 from repro.rom.nor_matrix import CheckedDecoder
+from repro.scenarios.workload import Workload
 
 __all__ = [
     "random_addresses",
@@ -21,16 +28,21 @@ __all__ = [
 def random_addresses(
     n_bits: int, cycles: int, seed: int = 0
 ) -> List[int]:
-    """Uniform i.i.d. address stream — the paper's latency model's regime."""
-    rng = random.Random(seed)
-    top = (1 << n_bits) - 1
-    return [rng.randint(0, top) for _ in range(cycles)]
+    """Uniform i.i.d. address stream — the paper's latency model's regime.
+
+    Shim over ``Workload.uniform(1 << n_bits, cycles, seed)``.
+    """
+    return Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
 
 def sequential_addresses(n_bits: int, cycles: int, start: int = 0) -> List[int]:
-    """Linear sweep (wrapping) — a marching access pattern."""
-    size = 1 << n_bits
-    return [(start + i) % size for i in range(cycles)]
+    """Linear sweep (wrapping) — a marching access pattern.
+
+    Shim over ``Workload.sequential(1 << n_bits, cycles, start)``.
+    """
+    return Workload.sequential(
+        1 << n_bits, cycles, start=start
+    ).address_list()
 
 
 def burst_addresses(
@@ -43,19 +55,11 @@ def burst_addresses(
 
     Stresses the latency model's uniformity assumption — the empirical
     benches show detection slows when traffic never leaves a region whose
-    addresses share a residue class.
+    addresses share a residue class.  Shim over ``Workload.bursty``.
     """
-    rng = random.Random(seed)
-    size = 1 << n_bits
-    stream: List[int] = []
-    while len(stream) < cycles:
-        base = rng.randrange(size)
-        run = rng.randint(1, locality)
-        for offset in range(run):
-            stream.append((base + offset) % size)
-            if len(stream) == cycles:
-                break
-    return stream
+    return Workload.bursty(
+        1 << n_bits, cycles, locality=locality, seed=seed
+    ).address_list()
 
 
 def decoder_fault_list(

@@ -8,11 +8,18 @@ access pattern.  The detection latency here is governed by the *traffic*,
 not the code: parity catches the flip on the first read of the victim
 word, so latency = time-to-next-read, which the campaign quantifies for
 uniform, sequential and scrubbed access streams.
+
+Since 1.3 the canonical driver is
+:meth:`repro.scenarios.CampaignEngine.transient` — seeded
+:class:`~repro.scenarios.workload.Workload` stimuli,
+:class:`~repro.scenarios.faults.TransientScenario` fault values
+(including multi-upset combinations), a packed lane-mask backend proven
+bit-identical to the serial oracle, and ``workers=N`` sharding.  The
+helpers below are kept as thin shims with the pre-1.3 signatures.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -55,49 +62,48 @@ def scrubbed_stream(
     seed: int = 0,
 ) -> List[int]:
     """Random traffic with a background scrubber visiting one word every
-    ``scrub_period`` cycles (round-robin) — bounding time-to-next-read."""
-    rng = random.Random(seed)
-    stream: List[int] = []
-    scrub_ptr = 0
-    for cycle in range(cycles):
-        if scrub_period > 0 and cycle % scrub_period == 0:
-            stream.append(scrub_ptr % words)
-            scrub_ptr += 1
-        else:
-            stream.append(rng.randrange(words))
-    return stream
+    ``scrub_period`` cycles (round-robin) — bounding time-to-next-read.
+
+    Shim over ``Workload.scrubbed`` (bit-identical trace).
+    """
+    from repro.scenarios.workload import Workload
+
+    return Workload.scrubbed(
+        words, cycles, scrub_period=scrub_period, seed=seed
+    ).address_list()
 
 
 def transient_campaign(
     ram: BehavioralRAM,
     upsets: Sequence[TransientUpset],
     addresses: Sequence[int],
+    engine: str = "packed",
+    workers: Optional[int] = None,
 ) -> List[TransientResult]:
     """Replay the address stream once per upset, flipping the victim bit
     at the upset cycle and recording the first parity-failing read.
 
     The RAM must have parity enabled; it is (re)initialised with zero
-    words so every stored word is a parity code word.
+    words so every stored word is a parity code word.  Shim over
+    :meth:`repro.scenarios.CampaignEngine.transient` (one single-upset
+    scenario per entry); ``engine="serial"`` selects the per-cycle
+    oracle the packed default is proven bit-identical to.
+
+    Behaviour change in 1.3: a RAM with pre-injected behavioural
+    faults is refused (``ValueError``) — the packed backend cannot
+    honour them.  Clear the faults and model them as scenarios in a
+    :meth:`~repro.scenarios.CampaignEngine.scheme` or
+    :meth:`~repro.scenarios.CampaignEngine.march` campaign instead.
     """
-    if not ram.with_parity:
-        raise ValueError("transient campaign needs a parity-protected RAM")
-    results: List[TransientResult] = []
-    zero = (0,) * ram.organization.bits
-    for upset in upsets:
-        if not 0 <= upset.address < ram.organization.words:
-            raise ValueError(f"upset address {upset.address} out of range")
-        for address in range(ram.organization.words):
-            ram.write(address, zero)
-        detected: Optional[int] = None
-        flipped = False
-        for cycle, address in enumerate(addresses):
-            if cycle >= upset.cycle and not flipped:
-                ram.flip_stored_bit(upset.address, upset.bit)
-                flipped = True
-            word = ram.read(address)
-            if address == upset.address and flipped:
-                if not ram.parity_code.is_codeword(word):
-                    detected = cycle
-                    break
-        results.append(TransientResult(upset=upset, detected_at=detected))
-    return results
+    from repro.scenarios.engine import CampaignEngine
+    from repro.scenarios.faults import TransientScenario
+    from repro.scenarios.workload import as_workload
+
+    scenarios = [TransientScenario(upsets=(upset,)) for upset in upsets]
+    result = CampaignEngine(engine=engine, workers=workers).transient(
+        ram, scenarios, as_workload(addresses)
+    )
+    return [
+        TransientResult(upset=upset, detected_at=record.first_detection)
+        for upset, record in zip(upsets, result.records)
+    ]

@@ -3,15 +3,18 @@
 These act on the *behavioural* parts of the memory (cell array, MUX, data
 register); decoder and ROM faults are structural
 (:class:`repro.circuits.faults.NetStuckAt` injected into the gate-level
-trees).  Each fault mutates the value observed by a read — the array
-contents themselves are kept pristine so faults can be added and removed
-freely during a campaign.
+trees).  Read-path faults mutate only the value observed by a read — the
+array contents are kept pristine so faults can be added and removed
+freely during a campaign.  The one exception is the *write-triggered*
+coupling model (:class:`CouplingFault` with ``write_triggered=True``),
+whose whole point is that an aggressor write corrupts the victim's
+stored state — campaigns re-initialise contents per fault anyway.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Sequence, Tuple
 
 __all__ = [
     "MemoryFault",
@@ -19,6 +22,7 @@ __all__ = [
     "DataLineStuckAt",
     "MuxLineStuckAt",
     "CouplingFault",
+    "CompositeFault",
 ]
 
 
@@ -94,11 +98,22 @@ class MuxLineStuckAt(MemoryFault):
 
 
 class CouplingFault(MemoryFault):
-    """Idempotent coupling: reading the victim sees the aggressor's value
-    forced into one bit when the aggressor cell holds ``trigger``.
+    """Idempotent coupling fault (CFid) between an aggressor and a victim.
+
+    Two models, selected by ``write_triggered``:
+
+    * ``False`` (default, the pre-1.3 behaviour) — *state coupling* on
+      the read path: reading the victim sees ``forced`` in one bit
+      whenever the aggressor cell currently holds ``trigger``;
+    * ``True`` — the textbook CFid: a write that *transitions* the
+      aggressor bit into ``trigger`` forces the victim's **stored** bit
+      to ``forced``.  This exercises :meth:`MemoryFault.apply_write`
+      and carries the classical march guarantees: March C- detects
+      every ⟨aggressor, victim⟩ order, MATS+ provably misses the
+      aggressor-above-victim case.
 
     Beyond the paper's single-stuck-at model; used by the extension tests
-    to show what parity does and does not catch.
+    to show what parity and each march algorithm do and do not catch.
     """
 
     def __init__(
@@ -109,6 +124,7 @@ class CouplingFault(MemoryFault):
         victim_bit: int,
         trigger: int = 1,
         forced: int = 1,
+        write_triggered: bool = False,
     ):
         self.aggressor_address = aggressor_address
         self.aggressor_bit = aggressor_bit
@@ -116,17 +132,58 @@ class CouplingFault(MemoryFault):
         self.victim_bit = victim_bit
         self.trigger = trigger
         self.forced = forced
+        self.write_triggered = write_triggered
+        if write_triggered and aggressor_address == victim_address:
+            raise ValueError(
+                "write-triggered coupling needs distinct aggressor and "
+                "victim cells"
+            )
 
     def apply_read(self, address: int, word: list, memory) -> None:
-        if address != self.victim_address:
+        if self.write_triggered or address != self.victim_address:
             return
         aggressor = memory.raw_word(self.aggressor_address)
         if aggressor[self.aggressor_bit] == self.trigger:
             word[self.victim_bit] = self.forced
 
+    def apply_write(self, address: int, word: list, memory) -> None:
+        """Write-triggered model: an aggressor-bit transition into
+        ``trigger`` corrupts the victim's stored bit (called before the
+        array update, so the pre-write value is still readable)."""
+        if not self.write_triggered or address != self.aggressor_address:
+            return
+        old = memory.raw_word(address)[self.aggressor_bit]
+        new = word[self.aggressor_bit]
+        if new == self.trigger and old != self.trigger:
+            memory.force_stored_bit(
+                self.victim_address, self.victim_bit, self.forced
+            )
+
     def __repr__(self) -> str:
+        mode = "w" if self.write_triggered else "r"
         return (
             f"CouplingFault(aggr=({self.aggressor_address},"
             f"{self.aggressor_bit}), victim=({self.victim_address},"
-            f"{self.victim_bit}))"
+            f"{self.victim_bit}), {mode}-triggered)"
         )
+
+
+class CompositeFault(MemoryFault):
+    """Several behavioural faults active together, applied in order —
+    the multi-fault combination the scenario layer routes as one unit."""
+
+    def __init__(self, faults: Sequence[MemoryFault]):
+        self.faults: Tuple[MemoryFault, ...] = tuple(faults)
+        if not self.faults:
+            raise ValueError("a composite fault needs at least one part")
+
+    def apply_read(self, address: int, word: list, memory) -> None:
+        for fault in self.faults:
+            fault.apply_read(address, word, memory)
+
+    def apply_write(self, address: int, word: list, memory) -> None:
+        for fault in self.faults:
+            fault.apply_write(address, word, memory)
+
+    def __repr__(self) -> str:
+        return f"CompositeFault({', '.join(repr(f) for f in self.faults)})"

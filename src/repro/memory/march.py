@@ -20,7 +20,7 @@ w0/w1 write 0/1.  Data backgrounds are all-0s/all-1s words.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.memory.ram import BehavioralRAM
 
@@ -31,6 +31,7 @@ __all__ = [
     "MATS_PLUS",
     "MARCH_X",
     "MARCH_Y",
+    "MARCH_TESTS",
     "run_march",
     "MarchViolation",
     "march_address_stream",
@@ -132,6 +133,14 @@ MARCH_Y = MarchTest(
 )
 
 
+#: the classical algorithms by display name (used by workload
+#: serialisation and the CLI's march campaign command)
+MARCH_TESTS = {
+    test.name: test
+    for test in (MARCH_C_MINUS, MATS_PLUS, MARCH_X, MARCH_Y)
+}
+
+
 @dataclass
 class MarchViolation:
     """One failed read during a march run."""
@@ -182,19 +191,11 @@ def march_address_stream(
 ) -> List[int]:
     """Flatten a march test into the address-per-cycle stream it applies.
 
-    Used as a deterministic stimulus for the decoder campaigns: each
-    operation is one memory cycle, so the decoder sees each element's
-    address once per operation.
+    Thin shim over ``Workload.march`` (1.3+): the canonical compiled
+    form of a march test is a :class:`repro.scenarios.MarchWorkload`,
+    whose read/write accesses also drive the RAM-level march campaigns;
+    this helper keeps the pre-1.3 address-only view.
     """
-    stream: List[int] = []
-    for element in test.elements:
-        ops = [
-            op
-            for op in element.operations
-            if not reads_only or op.startswith("r")
-        ]
-        if not ops:
-            continue
-        for address in element.addresses(words):
-            stream.extend([address] * len(ops))
-    return stream
+    from repro.scenarios.workload import Workload
+
+    return Workload.march(test, words, reads_only=reads_only).address_list()

@@ -115,6 +115,22 @@ class BehavioralRAM:
         self._check_address(address)
         return tuple(self._array[address])
 
+    def force_stored_bit(self, address: int, bit: int, value: int) -> None:
+        """Overwrite one stored bit in place, bypassing parity.
+
+        The write-triggered coupling model's corruption primitive: like
+        :meth:`flip_stored_bit` the parity bit is *not* recomputed, since
+        the corruption happens behind the write path's back.
+        """
+        self._check_address(address)
+        if not 0 <= bit < self._stored_bits:
+            raise ValueError(
+                f"bit {bit} out of range [0, {self._stored_bits})"
+            )
+        if value not in (0, 1):
+            raise ValueError(f"stored bit must be 0/1, got {value!r}")
+        self._array[address][bit] = value
+
     def flip_stored_bit(self, address: int, bit: int) -> None:
         """Flip one stored bit in place — a single-event upset.
 

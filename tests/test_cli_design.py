@@ -54,6 +54,55 @@ class TestJsonOutputs:
         assert "tree" in data["decoders"]
 
 
+class TestCampaignSubcommands:
+    """The 1.3 `repro transient` / `repro march` commands ride the
+    EXPERIMENTS table with the campaign-command option set."""
+
+    def test_transient_json_rows_and_stats(self, capsys):
+        assert main(["transient", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["command"] == "transient"
+        assert data["engine"] == "packed"
+        assert data["campaign"]["engine"] == "packed"
+        workloads = {row["workload"] for row in data["rows"]}
+        assert {"uniform", "sequential", "bursty"} <= workloads
+
+    def test_march_json_rows(self, capsys):
+        assert main(["march", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_test = {row["test"]: row for row in data["rows"]}
+        assert by_test["March C-"]["coverage"] == 1.0
+        assert by_test["MATS+"]["coverage"] < 1.0
+        assert "coupling (write CFid)" in by_test["MATS+"]["missed_classes"]
+
+    def test_serial_engine_flag(self, capsys):
+        assert main(["march", "--serial", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"] == "serial"
+
+    def test_workers_with_serial_rejected(self, capsys):
+        assert main(["transient", "--serial", "--workers", "2"]) == 1
+        assert "--workers requires the packed engine" in (
+            capsys.readouterr().err
+        )
+
+    def test_report_workload_option(self, capsys):
+        assert main(
+            ["report", "--words", "512", "--bits", "8", "-c", "10",
+             "-p", "1e-9", "--empirical", "--workload", "bursty",
+             "--json"]
+        ) == 0
+        report = DesignReport.from_json(capsys.readouterr().out)
+        assert report.empirical.workload.startswith("bursty(")
+
+    def test_report_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["report", "--words", "512", "--bits", "8", "-c", "10",
+                 "-p", "1e-9", "--workload", "fancy"]
+            )
+
+
 class TestSweep:
     def test_sweep_text_table(self, capsys):
         assert main(["sweep", "-c", "2", "-c", "10", "-p", "1e-9"]) == 0
@@ -126,9 +175,12 @@ class TestExitCodes:
 
 
 class TestExperimentTable:
-    def test_all_ten_experiments_registered(self):
-        assert len(EXPERIMENTS) == 10
-        assert len({entry.name for entry in EXPERIMENTS}) == 10
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 12
+        assert len({entry.name for entry in EXPERIMENTS}) == 12
+        names = {entry.name for entry in EXPERIMENTS}
+        # the 1.3 campaign commands ride the same table
+        assert {"transient", "march"} <= names
 
     def test_parser_has_every_experiment(self):
         parser = build_parser()

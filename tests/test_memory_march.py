@@ -95,6 +95,84 @@ class TestCoverage:
         assert run_march(ram, MARCH_C_MINUS)
 
 
+class TestWriteTriggeredCoupling:
+    """The textbook CFid guarantees: March C- covers every write-triggered
+    coupling fault, MATS+ provably does not (its single ascending
+    read-write element never re-reads a victim below its aggressor after
+    the aggressor's up-transition)."""
+
+    @staticmethod
+    def cfid(aggressor, victim, trigger=1, forced=1):
+        return CouplingFault(
+            aggressor_address=aggressor, aggressor_bit=0,
+            victim_address=victim, victim_bit=0,
+            trigger=trigger, forced=forced, write_triggered=True,
+        )
+
+    @pytest.mark.parametrize("aggressor,victim", [(3, 9), (9, 3)])
+    @pytest.mark.parametrize("trigger,forced", [(1, 1), (0, 0)])
+    def test_march_c_minus_detects_both_orders_and_transitions(
+        self, aggressor, victim, trigger, forced
+    ):
+        ram = make_ram()
+        ram.inject(self.cfid(aggressor, victim, trigger, forced))
+        assert run_march(ram, MARCH_C_MINUS), (
+            aggressor, victim, trigger, forced,
+        )
+
+    def test_mats_plus_misses_aggressor_above_victim(self):
+        # aggressor > victim: the ascending element writes the victim
+        # first (v=1), so the later aggressor up-transition forces a
+        # value the descending r1 then expects — never observed wrong.
+        ram = make_ram()
+        ram.inject(self.cfid(aggressor=9, victim=3))
+        assert run_march(ram, MATS_PLUS) == []
+
+    def test_mats_plus_detects_aggressor_below_victim(self):
+        # the opposite order IS caught: SAF-grade coverage only.
+        ram = make_ram()
+        ram.inject(self.cfid(aggressor=3, victim=9))
+        assert run_march(ram, MATS_PLUS)
+
+    def test_apply_write_corrupts_stored_state(self):
+        ram = make_ram()
+        ram.inject(self.cfid(aggressor=5, victim=2))
+        zero = (0,) * ram.organization.bits
+        ram.write(2, zero)
+        ram.write(5, zero)
+        ram.write(5, (1,) * ram.organization.bits)  # 0 -> 1 transition
+        assert ram.raw_word(2)[0] == 1  # victim's stored bit forced
+        # and the victim's parity is now inconsistent: detectable
+        assert not ram.parity_ok(2)
+
+    def test_no_retrigger_without_transition(self):
+        ram = make_ram()
+        ram.inject(self.cfid(aggressor=5, victim=2))
+        ones = (1,) * ram.organization.bits
+        ram.write(5, ones)          # transition: forces victim
+        ram.force_stored_bit(2, 0, 0)  # repair the victim by hand
+        ram.write(5, ones)          # aggressor already at trigger
+        assert ram.raw_word(2)[0] == 0  # no transition, no corruption
+
+    def test_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            self.cfid(aggressor=4, victim=4)
+
+    def test_campaign_engine_matrix_matches_run_march(self):
+        from repro.scenarios import CampaignEngine, MemoryScenario
+
+        scenarios = [
+            MemoryScenario(faults=(self.cfid(3, 9),)),
+            MemoryScenario(faults=(self.cfid(9, 3),)),
+        ]
+        for test in (MATS_PLUS, MARCH_C_MINUS):
+            result = CampaignEngine().march(make_ram(), scenarios, test)
+            for scenario, record in zip(scenarios, result.records):
+                ram = make_ram()
+                ram.inject(scenario.faults[0])
+                assert record.detected == bool(run_march(ram, test))
+
+
 class TestAddressStream:
     def test_stream_length(self):
         words = 8
