@@ -15,7 +15,7 @@ from repro.core.latency import worst_escape_over_blocks
 from repro.core.mapping import mapping_for_code
 from repro.decoder.analysis import analyze_decoder
 from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import random_addresses
+from repro.scenarios import Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 N_BITS = 6
@@ -34,7 +34,7 @@ def measure_worst_site_survival(trials=TRIALS, horizon=12):
     )
     survived = [0] * (horizon + 1)
     for trial in range(trials):
-        addresses = random_addresses(N_BITS, horizon, seed=1000 + trial)
+        addresses = Workload.uniform(1 << N_BITS, horizon, seed=1000 + trial)
         result = decoder_campaign(
             checked, checker, [site.fault], addresses,
             attach_analytic=False,

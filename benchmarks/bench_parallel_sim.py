@@ -12,7 +12,7 @@ import pytest
 from repro.circuits.parallel import packed_rom_words
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import mapping_for_code
-from repro.faultsim.injector import random_addresses
+from repro.scenarios import Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 N_BITS = 6
@@ -26,7 +26,7 @@ def checked():
 
 @pytest.fixture(scope="module")
 def addresses():
-    return random_addresses(N_BITS, CYCLES, seed=31)
+    return Workload.uniform(1 << N_BITS, CYCLES, seed=31).address_list()
 
 
 def test_bench_serial_stream(benchmark, checked, addresses):

@@ -31,7 +31,6 @@ from repro.experiments.latency_empirical import run_latency_experiment
 from repro.faultsim.campaign import decoder_campaign, scheme_campaign
 from repro.faultsim.injector import (
     decoder_fault_list,
-    random_addresses,
     sample_faults,
 )
 from repro.memory.faults import CellStuckAt, DataLineStuckAt
@@ -61,7 +60,7 @@ def bench_decoder(n_bits: int, cycles: int, seed: int) -> dict:
     checked = CheckedDecoder(mapping_for_code(code, n_bits))
     checker = MOutOfNChecker(code.m, code.n, structural=False)
     faults = decoder_fault_list(checked)
-    addresses = random_addresses(n_bits, cycles, seed=seed)
+    addresses = Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
     serial, serial_s = _timed(
         lambda: decoder_campaign(
@@ -103,7 +102,7 @@ def bench_scheme(cycles: int, seed: int) -> dict:
     memory_faults = [
         CellStuckAt(5, 1, 1), CellStuckAt(40, 0, 0), DataLineStuckAt(3, 1),
     ]
-    addresses = random_addresses(org.n, cycles, seed=seed)
+    addresses = Workload.uniform(1 << org.n, cycles, seed=seed).address_list()
     total = len(row_faults) + len(column_faults) + len(memory_faults)
 
     serial, serial_s = _timed(
@@ -203,6 +202,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_campaigns.json")
     parser.add_argument(
+        "--history", default="BENCH_campaigns.history.jsonl",
+        metavar="PATH",
+        help="persistent perf trajectory: every run appends its payload "
+        "as one JSON line here ('' disables)",
+    )
+    parser.add_argument(
         "--check-speedup", type=float, default=None, metavar="X",
         help="fail unless the 6-bit decoder bench clears X (local gating;"
         " CI only checks bit-identity to stay robust on shared runners)",
@@ -224,6 +229,14 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    if args.history:
+        # append-only trajectory: one compact line per run, so speedups
+        # are comparable across versions/commits without scraping CI logs
+        entry = dict(payload, timestamp=round(time.time(), 1))
+        with open(args.history, "a") as handle:
+            json.dump(entry, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
 
     width = max(len(b["name"]) for b in benches)
     for b in benches:
@@ -235,6 +248,8 @@ def main(argv=None) -> int:
             f" [{flag}]"
         )
     print(f"wrote {args.out}")
+    if args.history:
+        print(f"appended to {args.history}")
 
     if not all(b["identical"] for b in benches):
         print("FAIL: packed engine diverged from the serial oracle",

@@ -43,6 +43,10 @@ Layer map
                    scheme, safety model, trade-off explorer
 ``repro.scenarios`` the unified scenario layer: Workload stimuli,
                    FaultScenario hierarchy, CampaignEngine facade
+``repro.results``  the unified results layer: provenance-stamped
+                   ResultSet artifacts (streaming JSONL, merge/filter/
+                   group_by/diff) + the content-addressed ResultStore
+                   campaign cache
 ``repro.faultsim`` fault-injection campaigns: packed bit-parallel
                    engine (default) + the serial reference oracle
 ``repro.experiments``  regenerators for every table/figure of the paper
@@ -52,12 +56,15 @@ Campaign quick path (1.3+)::
 
     from repro import CampaignEngine, Workload, TransientScenario
 
-    engine = CampaignEngine()            # packed fast path
+    engine = CampaignEngine(store=".repro-store")  # cached campaigns (1.4)
     result = engine.transient(
         ram,
         [TransientScenario.single(address=5, bit=2, cycle=100)],
         Workload.scrubbed(words=256, cycles=4096, scrub_period=8, seed=1),
     )
+    artifact = result.to_result_set()    # provenance-stamped, JSONL-able
+    # an identical re-run is now a verified store hit — the simulator
+    # is never invoked; inspect with `repro results ls/show/diff`
 """
 
 from repro.area.model import PaperAreaModel
@@ -90,6 +97,11 @@ from repro.memory.organization import (
     MemoryOrganization,
     paper_org,
 )
+from repro.results import (
+    Provenance,
+    ResultSet,
+    ResultStore,
+)
 from repro.scenarios import (
     CampaignEngine,
     FaultScenario,
@@ -99,7 +111,7 @@ from repro.scenarios import (
     Workload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -108,6 +120,9 @@ __all__ = [
     "DesignReport",
     "CampaignEngine",
     "Workload",
+    "ResultSet",
+    "ResultStore",
+    "Provenance",
     "FaultScenario",
     "StructuralScenario",
     "MemoryScenario",

@@ -16,6 +16,7 @@ import contextlib
 import importlib
 import io
 import json
+import os
 import sys
 import time
 from dataclasses import asdict, dataclass
@@ -98,6 +99,39 @@ def _add_policy_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: default artifact-store root for `repro results` (campaign commands
+#: only cache when --store is given explicitly)
+DEFAULT_STORE = ".repro-store"
+
+
+def _default_store() -> str:
+    return os.environ.get("REPRO_STORE", DEFAULT_STORE)
+
+
+def _add_store_options(
+    parser: argparse.ArgumentParser, required_default: bool = False
+) -> None:
+    """--store/--no-cache: the content-addressed campaign cache.
+
+    Campaign commands default to no store (opt-in caching); the
+    ``results`` inspection commands default to ``$REPRO_STORE`` or
+    ``.repro-store`` since they are meaningless without one.
+    """
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=_default_store() if required_default else None,
+        help="content-addressed result store directory; identical "
+        "campaign re-runs are served from it (hash-verified)",
+    )
+    if not required_default:
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="skip the store lookup but still refresh the entry",
+        )
+
+
 # -- designer-facing commands ------------------------------------------------
 
 
@@ -125,7 +159,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         decoder_style=args.decoder_style,
         workload=args.workload,
     )
-    report = DesignEngine().evaluate(
+    engine = DesignEngine(
+        store=args.store, cache=not args.no_cache
+    )
+    report = engine.evaluate(
         spec,
         empirical=args.empirical,
         empirical_cycles=args.empirical_cycles,
@@ -181,9 +218,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policy=args.policy,
         column_zero_latency=not args.shared_column_code,
     )
-    reports = DesignEngine().sweep(
-        specs, workers=args.workers, executor=args.executor
-    )
+    reports = DesignEngine(
+        store=args.store, cache=not args.no_cache
+    ).sweep(specs, workers=args.workers, executor=args.executor)
     if args.json:
         _emit(
             args,
@@ -236,6 +273,120 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- artifact-store inspection: `repro results ls|show|diff|export` ----------
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.results import ResultStore
+
+    if not os.path.isdir(args.store):
+        raise ValueError(
+            f"no result store at {args.store!r} (create one by running a "
+            f"campaign command with --store {args.store})"
+        )
+    return ResultStore(args.store)
+
+
+def _cmd_results_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    entries = store.entries()
+    if args.json:
+        _emit(
+            args,
+            json.dumps([entry.to_dict() for entry in entries], indent=2),
+        )
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            entry.key[:12],
+            entry.campaign or "?",
+            entry.engine or "-",
+            entry.faults,
+            "-" if entry.coverage is None else f"{entry.coverage:.4f}",
+            entry.cycles_simulated,
+            f"{entry.size_bytes / 1024:.1f}K",
+            time.strftime(
+                "%Y-%m-%d %H:%M", time.localtime(entry.created_at)
+            ),
+        ]
+        for entry in entries
+    ]
+    table = format_table(
+        ["key", "campaign", "engine", "faults", "coverage", "cycles",
+         "size", "created"],
+        rows,
+    )
+    _emit(
+        args,
+        f"result store {store.root} — {len(entries)} campaign(s)\n" + table,
+    )
+    return 0
+
+
+def _cmd_results_show(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    key = store.resolve(args.key)
+    result = store.get(key)
+    payload = {
+        "key": key,
+        "summary": result.summary(),
+        "by_kind": {
+            kind: group.summary()
+            for kind, group in sorted(result.by_kind().items())
+        },
+        "provenance": [p.to_dict() for p in result.provenances],
+    }
+    if args.json:
+        _emit(args, json.dumps(payload, indent=2))
+        return 0
+    lines = [f"result set {key}"]
+    for field_name, value in payload["summary"].items():
+        lines.append(f"    {field_name:<21}: {value}")
+    for kind, summary in payload["by_kind"].items():
+        lines.append(
+            f"    kind {kind:<16}: {summary['detected']}/{summary['faults']}"
+            f" detected (coverage {summary['coverage']})"
+        )
+    for provenance in payload["provenance"]:
+        lines.append(
+            "    provenance           : "
+            + ", ".join(
+                f"{k}={v}"
+                for k, v in provenance.items()
+                if k in ("campaign", "engine", "workload", "scenario_count",
+                         "repro_version")
+            )
+        )
+    _emit(args, "\n".join(lines))
+    return 0
+
+
+def _cmd_results_diff(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    left = store.get(store.resolve(args.left))
+    right = store.get(store.resolve(args.right))
+    diff = left.diff(right)
+    if args.json:
+        _emit(args, json.dumps(diff.to_dict(), indent=2))
+    else:
+        _emit(args, diff.render())
+    return 0 if diff.identical else 2
+
+
+def _cmd_results_export(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    key = store.resolve(args.key)
+    result = store.get(key)  # hash-verified read
+    if args.out:
+        result.write_jsonl(args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(result.to_jsonl(), end="")
+    return 0
+
+
 # -- experiment regenerators (one table, not ten handlers) -------------------
 
 
@@ -260,7 +411,12 @@ class ExperimentCommand:
         kwargs = {}
         if self.engine_aware:
             _validate_engine_args(args)
-            kwargs = {"engine": args.engine, "workers": args.workers}
+            kwargs = {
+                "engine": args.engine,
+                "workers": args.workers,
+                "store": args.store,
+                "cache": not args.no_cache,
+            }
         buffer = io.StringIO()
         start = time.perf_counter()
         with contextlib.redirect_stdout(buffer):
@@ -413,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ignores --empirical-cycles)",
     )
     _add_engine_options(report)
+    _add_store_options(report)
     _add_output_options(report)
     report.set_defaults(func=_cmd_report)
 
@@ -445,8 +602,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--executor", choices=("thread", "process"), default="thread"
     )
+    _add_store_options(sweep)
     _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    results = sub.add_parser(
+        "results",
+        help="inspect the content-addressed campaign result store",
+    )
+    results_sub = results.add_subparsers(
+        dest="results_command", required=True
+    )
+    results_ls = results_sub.add_parser(
+        "ls", help="list stored campaign result sets"
+    )
+    results_ls.set_defaults(func=_cmd_results_ls)
+    results_show = results_sub.add_parser(
+        "show", help="summary + provenance of one stored result set"
+    )
+    results_show.add_argument("key", help="store key (prefix accepted)")
+    results_show.set_defaults(func=_cmd_results_show)
+    results_diff = results_sub.add_parser(
+        "diff",
+        help="record-matched comparison of two stored result sets "
+        "(exit code 2 when outcomes differ)",
+    )
+    results_diff.add_argument("left", help="store key (prefix accepted)")
+    results_diff.add_argument("right", help="store key (prefix accepted)")
+    results_diff.set_defaults(func=_cmd_results_diff)
+    results_export = results_sub.add_parser(
+        "export", help="write one stored result set as JSONL"
+    )
+    results_export.add_argument("key", help="store key (prefix accepted)")
+    results_export.set_defaults(func=_cmd_results_export)
+    for sub_parser in (
+        results_ls, results_show, results_diff, results_export
+    ):
+        _add_store_options(sub_parser, required_default=True)
+        _add_output_options(sub_parser)
 
     registry = sub.add_parser(
         "registry", help="list pluggable codes/checkers/mappings/decoders"
@@ -459,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_output_options(cmd)
         if entry.engine_aware:
             _add_engine_options(cmd)
+            _add_store_options(cmd)
         cmd.set_defaults(func=entry.run)
 
     return parser

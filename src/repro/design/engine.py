@@ -63,11 +63,20 @@ class DesignEngine:
         analytic_model: Optional[PaperAreaModel] = None,
         fault_rate_per_hour: float = 1e-5,
         decoder_area_fraction: float = 0.1,
+        store=None,
+        cache: bool = True,
     ):
         self.std_model = std_model or StdCellAreaModel()
         self.analytic_model = analytic_model or PaperAreaModel()
         self.fault_rate_per_hour = fault_rate_per_hour
         self.decoder_area_fraction = decoder_area_fraction
+        # artifact policy (1.4): a repro.results.ResultStore (or root
+        # path) caches empirical campaigns content-addressed and whole
+        # DesignReports in its side table; cache=False refreshes entries
+        from repro.results import ResultStore
+
+        self.store = ResultStore.coerce(store)
+        self.cache = cache
 
     # -- the flow ------------------------------------------------------------
 
@@ -128,9 +137,15 @@ class DesignEngine:
         ``cycles`` uniform random addresses), and summarises detection —
         the empirical counterpart of the report's analytic ``Pndc``
         column.
+
+        The campaign routes through :class:`repro.scenarios.
+        CampaignEngine` under this engine's artifact policy: with a
+        ``store`` configured, identical measurements are served from
+        disk (``EmpiricalReport.store_hit``) and the report carries the
+        ``result_key`` of the full record-level artifact.
         """
-        from repro.faultsim.campaign import decoder_campaign
         from repro.faultsim.injector import decoder_fault_list
+        from repro.scenarios.engine import CampaignEngine
         from repro.scenarios.workload import Workload, named_workload
 
         memory = memory or self.build(spec, plan)
@@ -149,15 +164,20 @@ class DesignEngine:
                 f"workload {workload.label()} addresses exceed the "
                 f"{space}-line row decoder of {spec.organization.label()}"
             )
+        driver = CampaignEngine(
+            engine=engine,
+            workers=workers,
+            store=self.store,
+            cache=self.cache,
+        )
         start = time.perf_counter()
-        result = decoder_campaign(
+        result = driver.decoder(
             checked,
             memory.row_checker,
             faults,
-            addresses,
+            workload,
             attach_analytic=False,
-            engine=engine,
-            workers=workers,
+            spec=spec.to_dict(),
         )
         wall = time.perf_counter() - start
 
@@ -177,6 +197,8 @@ class DesignEngine:
             zero_latency_sa0=all(r.latency == 0 for r in sa0),
             wall_time_s=wall,
             faults_per_sec=result.total / wall if wall > 0 else 0.0,
+            result_key=result.store_key,
+            store_hit=result.from_store,
         )
 
     def evaluate(
@@ -194,7 +216,23 @@ class DesignEngine:
         With ``empirical=True`` the report also carries a measured
         fault-injection summary (see :meth:`empirical`); ``engine`` and
         ``workers`` select the campaign engine for that measurement.
+
+        With a ``store`` configured on the engine, whole reports cache
+        in the store's side table keyed on (spec, evaluation policy,
+        engine context): re-evaluating an unchanged spec — including
+        every spec of a repeated :meth:`sweep` — is served from disk.
+        An explicit ``plan`` override bypasses the report cache (the
+        plan is an arbitrary object the key cannot capture).
         """
+        report_key = None
+        if self.store is not None and plan is None:
+            report_key = self._report_key(
+                spec, empirical, empirical_cycles, empirical_seed, engine
+            )
+            if self.cache:
+                cached = self.store.get_report(report_key)
+                if cached is not None:
+                    return DesignReport.from_dict(cached)
         plan = plan or self.plan(spec)
         organization = spec.organization
 
@@ -235,13 +273,49 @@ class DesignEngine:
                 workers=workers,
             )
 
-        return DesignReport(
+        report = DesignReport(
             spec=spec,
             row=decoder_check_report(plan.row, 1 << organization.p),
             column=decoder_check_report(plan.column, 1 << organization.s),
             area=area,
             safety=safety,
             empirical=measured,
+        )
+        if report_key is not None:
+            self.store.put_report(report_key, report.to_dict())
+        return report
+
+    def _report_key(
+        self,
+        spec: DesignSpec,
+        empirical: bool,
+        empirical_cycles: int,
+        empirical_seed: int,
+        engine: str,
+    ) -> str:
+        """Content address of one evaluation: the spec, the evaluation
+        policy and the engine's analytic context (area models, safety
+        parameters) — everything a report's numbers depend on."""
+        from repro.results import campaign_key
+
+        return campaign_key(
+            {
+                "format": 1,
+                "kind": "design-report",
+                "spec": spec.to_dict(),
+                "empirical": {
+                    "enabled": empirical,
+                    "cycles": empirical_cycles,
+                    "seed": empirical_seed,
+                    "engine": engine,
+                },
+                "context": {
+                    "fault_rate_per_hour": self.fault_rate_per_hour,
+                    "decoder_area_fraction": self.decoder_area_fraction,
+                    "std_model": vars(self.std_model),
+                    "analytic_model": vars(self.analytic_model),
+                },
+            }
         )
 
     # -- batch exploration ---------------------------------------------------

@@ -125,6 +125,12 @@ class EmpiricalReport:
     faults_per_sec: float
     #: label of the Workload that drove the campaign (1.3+)
     workload: Optional[str] = None
+    #: content-addressed ResultStore key of the backing ResultSet, when
+    #: the engine ran with a store (1.4+) — ``repro results show KEY``
+    #: reopens the full record-level artifact
+    result_key: Optional[str] = None
+    #: True when the campaign was served from the store (verified hit)
+    store_hit: bool = False
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

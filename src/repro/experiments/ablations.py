@@ -35,10 +35,9 @@ from repro.core.mapping import (
     mapping_for_code,
 )
 from repro.decoder.analysis import analyze_decoder
-from repro.experiments.common import record_campaign_stats
-from repro.faultsim.campaign import decoder_campaign
+from repro.experiments.common import open_store, record_campaign_stats
 from repro.faultsim.injector import decoder_fault_list
-from repro.scenarios import Workload
+from repro.scenarios import CampaignEngine, Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = [
@@ -69,12 +68,17 @@ def run_odd_a_ablation(
     seed: int = 3,
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> OddAAblation:
     """Same decoder, two ROM programmings: final mod-a vs §III.1 truncated."""
     code = MOutOfNCode(3, 5)
     good_mapping = mapping_for_code(code, n_bits)
     bad_mapping = TruncatedBergerMapping(n_bits, k=k)
 
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
+    )
     addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
     coverages: List[float] = []
     blind_counts: List[int] = []
@@ -85,9 +89,8 @@ def run_odd_a_ablation(
     ):
         checked = CheckedDecoder(mapping)
         faults = decoder_fault_list(checked)
-        result = decoder_campaign(
-            checked, checker, faults, addresses, attach_analytic=False,
-            engine=engine, workers=workers,
+        result = driver.decoder(
+            checked, checker, faults, addresses, attach_analytic=False
         )
         total_faults += len(faults)
         coverages.append(result.coverage)
@@ -166,35 +169,36 @@ def run_unordered_ablation(
     seed: int = 11,
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> UnorderedAblation:
     code = MOutOfNCode(3, 5)
     good_mapping = mapping_for_code(code, n_bits)
     bad_mapping = _OrderedCodeMapping(
         n_bits, width=code.n, used=good_mapping.a
     )
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
+    )
     addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
 
     good = CheckedDecoder(good_mapping)
-    good_result = decoder_campaign(
+    good_result = driver.decoder(
         good,
         MOutOfNChecker(code.m, code.n, structural=False),
         decoder_fault_list(good),
         addresses,
         attach_analytic=False,
-        engine=engine,
-        workers=workers,
     )
 
     bad = CheckedDecoder(bad_mapping)
     bad_checker = _MembershipChecker(bad_mapping)
-    bad_result = decoder_campaign(
+    bad_result = driver.decoder(
         bad,
         bad_checker,
         decoder_fault_list(bad),
         addresses,
         attach_analytic=False,
-        engine=engine,
-        workers=workers,
     )
     silent_sa0 = sum(
         1
@@ -219,9 +223,17 @@ def run_unordered_ablation(
 LAST_CAMPAIGN_STATS: dict = {}
 
 
-def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+def main(
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
+) -> None:
+    store = open_store(store)
     start = time.perf_counter()
-    odd = run_odd_a_ablation(engine=engine, workers=workers)
+    odd = run_odd_a_ablation(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
     print("X4 — odd modulus ablation (mod-a vs truncated-Berger ROM)")
     print(f"  coverage, final mod-a mapping      : {odd.coverage_mod_a:.3f}")
     print(
@@ -233,10 +245,15 @@ def main(engine: str = "packed", workers: Optional[int] = None) -> None:
         f"{odd.blind_sites_mod_a} (mod-a) vs "
         f"{odd.blind_sites_berger} (Berger)"
     )
-    uno = run_unordered_ablation(engine=engine, workers=workers)
+    uno = run_unordered_ablation(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
+    extra = {}
+    if store is not None:
+        extra["store"] = store.stats.to_dict()
     record_campaign_stats(
         LAST_CAMPAIGN_STATS, engine, odd.faults + uno.faults,
-        time.perf_counter() - start,
+        time.perf_counter() - start, **extra,
     )
     print("X5 — unordered-code ablation (3-out-of-5 vs ordered systematic)")
     print(

@@ -15,11 +15,21 @@ __all__ = [
     "parse_code_name",
     "format_table",
     "record_campaign_stats",
+    "open_store",
 ]
 
 
+def open_store(store):
+    """Normalise an experiment's ``store=`` argument (``None`` / path /
+    store object) — so every experiment accepts the CLI's ``--store
+    PATH`` and API callers' store objects alike."""
+    from repro.results import ResultStore
+
+    return ResultStore.coerce(store)
+
+
 def record_campaign_stats(
-    store: Dict[str, object],
+    stats: Dict[str, object],
     engine: str,
     faults: int,
     wall_time_s: float,
@@ -28,10 +38,11 @@ def record_campaign_stats(
     """Refresh a module's ``LAST_CAMPAIGN_STATS`` in place.
 
     The CLI's ``--json`` surfaces this dict as the ``campaign`` payload
-    for engine-aware experiment commands.
+    for engine-aware experiment commands (including the result-store
+    hit/miss counters under ``store`` when one was configured).
     """
-    store.clear()
-    store.update(
+    stats.clear()
+    stats.update(
         engine=engine,
         faults=faults,
         wall_time_s=round(wall_time_s, 6),

@@ -26,11 +26,9 @@ from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import ParityMapping, mapping_for_code
 from repro.decoder.flat import FlatDecoder
-from repro.experiments.common import record_campaign_stats
+from repro.experiments.common import open_store, record_campaign_stats
 from repro.decoder.tree import DecoderTree
-from repro.faultsim.campaign import decoder_campaign
-from repro.faultsim.injector import decoder_fault_list
-from repro.scenarios import Workload
+from repro.scenarios import CampaignEngine, Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = ["StyleResult", "run_decoder_style_experiment", "main"]
@@ -48,7 +46,7 @@ class StyleResult:
 
 
 def _campaign(
-    checked, checker, cycles, seed, engine="packed", workers=None
+    checked, checker, cycles, seed, driver: CampaignEngine
 ) -> StyleResult:
     # Branch (pin) faults included: the single-level decoder's strength
     # is precisely that its AND-gate branch faults merge addresses one
@@ -71,9 +69,8 @@ def _campaign(
         )
     ]
     addresses = Workload.uniform(1 << checked.n, cycles, seed=seed)
-    result = decoder_campaign(
-        checked, checker, faults, addresses, attach_analytic=False,
-        engine=engine, workers=workers,
+    result = driver.decoder(
+        checked, checker, faults, addresses, attach_analytic=False
     )
     excited = [r for r in result.records if r.first_error is not None]
     zero = sum(
@@ -98,24 +95,27 @@ def run_decoder_style_experiment(
     seed: int = 23,
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> List[StyleResult]:
     """Three configurations: flat+parity, tree+parity, tree+3-out-of-5."""
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
+    )
     parity_checker = MOutOfNChecker(1, 2, structural=False)
     results = []
 
     flat = CheckedDecoder(
         ParityMapping(n_bits), decoder=FlatDecoder(n_bits)
     )
-    row = _campaign(flat, parity_checker, cycles, seed, engine, workers)
+    row = _campaign(flat, parity_checker, cycles, seed, driver)
     row.label = "single-level + 1-out-of-2 parity"
     results.append(row)
 
     tree_parity = CheckedDecoder(
         ParityMapping(n_bits), decoder=DecoderTree(n_bits)
     )
-    row = _campaign(
-        tree_parity, parity_checker, cycles, seed, engine, workers
-    )
+    row = _campaign(tree_parity, parity_checker, cycles, seed, driver)
     row.label = "multilevel + 1-out-of-2 parity"
     results.append(row)
 
@@ -126,8 +126,7 @@ def run_decoder_style_experiment(
         MOutOfNChecker(code.m, code.n, structural=False),
         cycles,
         seed,
-        engine,
-        workers,
+        driver,
     )
     row.label = "multilevel + 3-out-of-5 mod-a (this paper)"
     results.append(row)
@@ -138,12 +137,23 @@ def run_decoder_style_experiment(
 LAST_CAMPAIGN_STATS: dict = {}
 
 
-def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+def main(
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
+) -> None:
+    store = open_store(store)
     start = time.perf_counter()
-    results = run_decoder_style_experiment(engine=engine, workers=workers)
+    results = run_decoder_style_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
+    extra = {}
+    if store is not None:
+        extra["store"] = store.stats.to_dict()
     record_campaign_stats(
         LAST_CAMPAIGN_STATS, engine, sum(row.faults for row in results),
-        time.perf_counter() - start,
+        time.perf_counter() - start, **extra,
     )
     print("X10 — decoder style vs checking scheme (first-error latency)")
     for row in results:

@@ -24,10 +24,13 @@ from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import mapping_for_code
 from repro.decoder.analysis import analyze_decoder
-from repro.experiments.common import format_table, record_campaign_stats
-from repro.faultsim.campaign import decoder_campaign
+from repro.experiments.common import (
+    format_table,
+    open_store,
+    record_campaign_stats,
+)
 from repro.faultsim.injector import decoder_fault_list
-from repro.scenarios import Workload
+from repro.scenarios import CampaignEngine, Workload
 from repro.rom.nor_matrix import CheckedDecoder
 
 __all__ = [
@@ -89,6 +92,8 @@ def run_latency_experiment(
     checkpoints: List[int] = None,
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> LatencyExperiment:
     code = code or MOutOfNCode(3, 5)
     checkpoints = checkpoints or [1, 2, 5, 10, 20, 50, 100, 200]
@@ -97,10 +102,11 @@ def run_latency_experiment(
     checker = MOutOfNChecker(code.m, code.n, structural=False)
     faults = decoder_fault_list(checked)
     addresses = Workload.uniform(1 << n_bits, cycles, seed=seed)
-    start = time.perf_counter()
-    result = decoder_campaign(
-        checked, checker, faults, addresses, engine=engine, workers=workers
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
     )
+    start = time.perf_counter()
+    result = driver.decoder(checked, checker, faults, addresses)
     wall = time.perf_counter() - start
     analysis = analyze_decoder(checked.tree, mapping)
 
@@ -129,11 +135,22 @@ def run_latency_experiment(
 LAST_CAMPAIGN_STATS: Dict[str, object] = {}
 
 
-def main(engine: str = "packed", workers: Optional[int] = None) -> None:
-    exp = run_latency_experiment(engine=engine, workers=workers)
+def main(
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
+) -> None:
+    store = open_store(store)
+    exp = run_latency_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
+    extra = {"cycles": exp.cycles}
+    if store is not None:
+        extra["store"] = store.stats.to_dict()
     record_campaign_stats(
         LAST_CAMPAIGN_STATS, exp.engine, exp.faults, exp.wall_time_s,
-        cycles=exp.cycles,
+        **extra,
     )
     print(
         f"Empirical latency validation: n={exp.n_bits} decoder, "

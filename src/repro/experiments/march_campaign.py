@@ -22,7 +22,11 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import format_table, record_campaign_stats
+from repro.experiments.common import (
+    format_table,
+    open_store,
+    record_campaign_stats,
+)
 from repro.memory.faults import (
     CellStuckAt,
     CouplingFault,
@@ -118,8 +122,12 @@ MARCH_SUITE: Tuple[MarchTest, ...] = (
 def run_march_experiment(
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> List[MarchCoverageRow]:
-    driver = CampaignEngine(engine=engine, workers=workers)
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
+    )
     classes = fault_classes()
     scenarios: List[MemoryScenario] = []
     labels: List[str] = []
@@ -155,21 +163,38 @@ LAST_CAMPAIGN_STATS: Dict[str, object] = {}
 
 
 def generate_march_rows(
-    engine: str = "packed", workers: Optional[int] = None
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> List[MarchCoverageRow]:
     """Structured rows for the CLI's ``--json`` (same engine selection
     as the printed run)."""
-    return run_march_experiment(engine=engine, workers=workers)
+    return run_march_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
 
 
-def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+def main(
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
+) -> None:
+    store = open_store(store)
     start = time.perf_counter()
-    rows = run_march_experiment(engine=engine, workers=workers)
+    rows = run_march_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
+    extra = {}
+    if store is not None:
+        extra["store"] = store.stats.to_dict()
     record_campaign_stats(
         LAST_CAMPAIGN_STATS,
         engine,
         sum(row.faults for row in rows),
         time.perf_counter() - start,
+        **extra,
     )
     print(
         f"X7 — march coverage matrix ({WORDS}x{BITS} RAM, "

@@ -21,7 +21,11 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.experiments.common import format_table, record_campaign_stats
+from repro.experiments.common import (
+    format_table,
+    open_store,
+    record_campaign_stats,
+)
 from repro.faultsim.transient import TransientUpset
 from repro.memory.organization import MemoryOrganization
 from repro.memory.ram import BehavioralRAM
@@ -89,16 +93,23 @@ def run_transient_experiment(
     seed: int = SEED,
     engine: str = "packed",
     workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> List[TransientWorkloadRow]:
     """One upset population, every workload family, one engine."""
-    driver = CampaignEngine(engine=engine, workers=workers)
+    driver = CampaignEngine(
+        engine=engine, workers=workers, store=open_store(store), cache=cache
+    )
     scenarios = _scenarios()
     rows: List[TransientWorkloadRow] = []
     for label, workload in _workloads(cycles, seed).items():
         result = driver.transient(_ram(), scenarios, workload)
+        # strike cycles come from the scenario list (zip by position):
+        # store-served records carry the printable fault identity, not
+        # the live scenario object
         latencies = [
-            record.first_detection - record.fault.cycle
-            for record in result.records
+            record.first_detection - scenario.cycle
+            for scenario, record in zip(scenarios, result.records)
             if record.first_detection is not None
         ]
         rows.append(
@@ -145,22 +156,38 @@ LAST_CAMPAIGN_STATS: Dict[str, object] = {}
 
 
 def generate_transient_rows(
-    engine: str = "packed", workers: Optional[int] = None
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
 ) -> List[TransientWorkloadRow]:
     """Structured rows for the CLI's ``--json`` (same engine selection
     as the printed run)."""
-    return run_transient_experiment(engine=engine, workers=workers)
+    return run_transient_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
 
 
-def main(engine: str = "packed", workers: Optional[int] = None) -> None:
+def main(
+    engine: str = "packed",
+    workers: Optional[int] = None,
+    store=None,
+    cache: bool = True,
+) -> None:
+    store = open_store(store)
     start = time.perf_counter()
-    rows = run_transient_experiment(engine=engine, workers=workers)
+    rows = run_transient_experiment(
+        engine=engine, workers=workers, store=store, cache=cache
+    )
+    extra = {"cycles": CYCLES}
+    if store is not None:
+        extra["store"] = store.stats.to_dict()
     record_campaign_stats(
         LAST_CAMPAIGN_STATS,
         engine,
         sum(row.upsets for row in rows),
         time.perf_counter() - start,
-        cycles=CYCLES,
+        **extra,
     )
     print(
         f"X6 — transient upsets under live traffic "

@@ -9,6 +9,7 @@ chunk-iterate, which bare lists cannot.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.circuits.faults import FaultBase, NetStuckAt
@@ -30,8 +31,18 @@ def random_addresses(
 ) -> List[int]:
     """Uniform i.i.d. address stream — the paper's latency model's regime.
 
-    Shim over ``Workload.uniform(1 << n_bits, cycles, seed)``.
+    .. deprecated:: 1.4
+        Shim over ``Workload.uniform(1 << n_bits, cycles, seed)``
+        (bit-identical trace); ``Workload`` has been canonical since
+        1.3 — construct it directly (it composes, serialises and
+        chunk-iterates, which bare lists cannot).
     """
+    warnings.warn(
+        "random_addresses() is a 1.2-era shim; build "
+        "Workload.uniform(1 << n_bits, cycles, seed=seed) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
 

@@ -1,10 +1,19 @@
-"""Result containers and statistics for fault-injection campaigns."""
+"""Result containers and statistics for fault-injection campaigns.
+
+Since 1.4 the statistics live once in
+:class:`repro.results.stats.RecordStatistics`, shared with the
+serialisable :class:`repro.results.ResultSet`; :class:`CampaignResult`
+is the thin in-memory compatibility view (live fault objects, mutable
+``add``) the pre-1.4 API exposed — convert with
+:meth:`CampaignResult.to_result_set` / ``ResultSet.to_campaign()``.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
+
+from repro.results.stats import RecordStatistics
 
 __all__ = ["FaultRecord", "CampaignResult"]
 
@@ -13,9 +22,10 @@ __all__ = ["FaultRecord", "CampaignResult"]
 class FaultRecord:
     """Outcome of simulating one fault against one address stream."""
 
-    #: printable fault identity
+    #: printable fault identity (a live fault/scenario object on fresh
+    #: runs; its printable string on results served from a ResultStore)
     fault: object
-    #: 'sa0' | 'sa1' | 'address' | 'memory' | 'rom'
+    #: 'sa0' | 'sa1' | 'address' | 'memory' | 'rom' | 'transient' | ...
     kind: str
     #: cycle (0-based) of first detection; None = never detected
     first_detection: Optional[int]
@@ -37,103 +47,38 @@ class FaultRecord:
 
 
 @dataclass
-class CampaignResult:
-    """Aggregate over a fault list."""
+class CampaignResult(RecordStatistics):
+    """Aggregate over a fault list (statistics from ``RecordStatistics``)."""
 
     records: List[FaultRecord] = field(default_factory=list)
     cycles_simulated: int = 0
     #: which engine produced the records ('serial' | 'packed');
     #: None for hand-assembled results
     engine: Optional[str] = None
+    #: stamped by CampaignEngine runs (1.4+): what produced the records
+    provenance: Optional[object] = None
+    #: content-addressed store key, when the campaign was keyed
+    store_key: Optional[str] = None
+    #: True when the records were served from a ResultStore (fault
+    #: identities are strings on that path, not live objects)
+    from_store: bool = False
 
     def add(self, record: FaultRecord) -> None:
         self.records.append(record)
 
-    @property
-    def total(self) -> int:
-        return len(self.records)
-
-    @property
-    def detected(self) -> int:
-        return sum(1 for r in self.records if r.detected)
-
-    @property
-    def coverage(self) -> float:
-        return self.detected / self.total if self.records else 1.0
-
-    def undetected(self) -> List[FaultRecord]:
-        return [r for r in self.records if not r.detected]
-
-    def detection_cycles(self) -> List[int]:
-        return [
-            r.first_detection for r in self.records if r.detected
-        ]
-
-    def mean_detection_cycle(self) -> float:
-        cycles = self.detection_cycles()
-        return sum(cycles) / len(cycles) if cycles else math.nan
-
-    def max_detection_cycle(self) -> Optional[int]:
-        cycles = self.detection_cycles()
-        return max(cycles) if cycles else None
-
-    def detected_within(self, c: int) -> int:
-        """Faults detected within the first ``c`` cycles (cycle < c)."""
-        return sum(
-            1
-            for r in self.records
-            if r.detected and r.first_detection < c
+    def _spawn(self) -> "CampaignResult":
+        return CampaignResult(
+            cycles_simulated=self.cycles_simulated,
+            engine=self.engine,
+            provenance=self.provenance,
+            store_key=self.store_key,
+            from_store=self.from_store,
         )
 
-    def escape_fraction_at(self, c: int) -> float:
-        """Fraction of faults still undetected after ``c`` cycles —
-        the empirical counterpart of the paper's ``Pndc`` (averaged over
-        the fault list rather than the worst site)."""
-        if not self.records:
-            return 0.0
-        return 1.0 - self.detected_within(c) / self.total
+    def to_result_set(self, provenance=None):
+        """The serialisable, provenance-stamped 1.4 artifact view."""
+        from repro.results import ResultSet
 
-    def latency_histogram(self, bins: Optional[List[int]] = None) -> Dict[str, int]:
-        """Counts of first-detection cycles in ranges (for the figures)."""
-        if bins is None:
-            bins = [1, 2, 5, 10, 20, 50, 100]
-        edges = [0] + sorted(bins)
-        hist: Dict[str, int] = {}
-        for lo, hi in zip(edges, edges[1:]):
-            label = f"[{lo},{hi})"
-            hist[label] = sum(
-                1
-                for r in self.records
-                if r.detected and lo <= r.first_detection < hi
-            )
-        last = edges[-1]
-        hist[f"[{last},inf)"] = sum(
-            1
-            for r in self.records
-            if r.detected and r.first_detection >= last
+        return ResultSet.from_campaign(
+            self, provenance=provenance or self.provenance
         )
-        hist["undetected"] = self.total - self.detected
-        return hist
-
-    def by_kind(self) -> Dict[str, "CampaignResult"]:
-        out: Dict[str, CampaignResult] = {}
-        for record in self.records:
-            out.setdefault(
-                record.kind,
-                CampaignResult(
-                    cycles_simulated=self.cycles_simulated,
-                    engine=self.engine,
-                ),
-            ).add(record)
-        return out
-
-    def summary(self) -> Dict[str, object]:
-        return {
-            "faults": self.total,
-            "detected": self.detected,
-            "coverage": round(self.coverage, 6),
-            "mean_detection_cycle": self.mean_detection_cycle(),
-            "max_detection_cycle": self.max_detection_cycle(),
-            "cycles_simulated": self.cycles_simulated,
-            "engine": self.engine,
-        }

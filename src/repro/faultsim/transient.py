@@ -64,8 +64,19 @@ def scrubbed_stream(
     """Random traffic with a background scrubber visiting one word every
     ``scrub_period`` cycles (round-robin) — bounding time-to-next-read.
 
-    Shim over ``Workload.scrubbed`` (bit-identical trace).
+    .. deprecated:: 1.4
+        Shim over ``Workload.scrubbed`` (bit-identical trace);
+        ``Workload`` has been canonical since 1.3 — construct it
+        directly.
     """
+    import warnings
+
+    warnings.warn(
+        "scrubbed_stream() is a 1.2-era shim; build "
+        "Workload.scrubbed(words, cycles, scrub_period, seed=seed) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.scenarios.workload import Workload
 
     return Workload.scrubbed(

@@ -191,11 +191,20 @@ def march_address_stream(
 ) -> List[int]:
     """Flatten a march test into the address-per-cycle stream it applies.
 
-    Thin shim over ``Workload.march`` (1.3+): the canonical compiled
-    form of a march test is a :class:`repro.scenarios.MarchWorkload`,
-    whose read/write accesses also drive the RAM-level march campaigns;
-    this helper keeps the pre-1.3 address-only view.
+    .. deprecated:: 1.4
+        Thin shim over ``Workload.march`` (1.3+): the canonical compiled
+        form of a march test is a :class:`repro.scenarios.MarchWorkload`,
+        whose read/write accesses also drive the RAM-level march
+        campaigns; this helper keeps the pre-1.3 address-only view.
     """
+    import warnings
+
+    warnings.warn(
+        "march_address_stream() is a 1.2-era shim; build "
+        "Workload.march(test, words, reads_only=reads_only) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.scenarios.workload import Workload
 
     return Workload.march(test, words, reads_only=reads_only).address_list()

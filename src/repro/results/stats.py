@@ -1,0 +1,133 @@
+"""Shared record statistics — one implementation, two containers.
+
+Both :class:`repro.faultsim.results.CampaignResult` (the in-memory
+campaign aggregate, kept as the compatibility surface) and
+:class:`repro.results.ResultSet` (the serialisable, provenance-stamped
+artifact) hold a list of records with the same observable shape —
+``detected`` / ``first_detection`` / ``kind`` — so every statistic the
+paper's figures draw on (coverage, detection-cycle moments, escape
+fractions, latency histograms) lives here exactly once.
+
+This module deliberately imports nothing from the rest of the package:
+it sits below both containers in the layer graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["RecordStatistics"]
+
+
+class RecordStatistics:
+    """Mixin over ``self.records`` (+ ``cycles_simulated`` / ``engine``).
+
+    A record must expose ``detected`` (bool), ``first_detection``
+    (Optional[int]) and ``kind`` (str).  Containers provide ``_spawn()``
+    returning an empty sibling carrying the same metadata (used by
+    :meth:`by_kind` and the filter/group operations built on it).
+    """
+
+    records: List
+
+    def _spawn(self) -> "RecordStatistics":
+        raise NotImplementedError
+
+    # -- counts --------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for r in self.records if r.detected)
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.records else 1.0
+
+    def undetected(self) -> List:
+        return [r for r in self.records if not r.detected]
+
+    # -- detection-cycle statistics ------------------------------------------
+
+    def detection_cycles(self) -> List[int]:
+        return [r.first_detection for r in self.records if r.detected]
+
+    def mean_detection_cycle(self) -> float:
+        """NaN when nothing was detected (see :meth:`summary` for the
+        JSON-safe ``None`` mapping)."""
+        cycles = self.detection_cycles()
+        return sum(cycles) / len(cycles) if cycles else math.nan
+
+    def max_detection_cycle(self) -> Optional[int]:
+        cycles = self.detection_cycles()
+        return max(cycles) if cycles else None
+
+    def detected_within(self, c: int) -> int:
+        """Faults detected within the first ``c`` cycles (cycle < c)."""
+        return sum(
+            1 for r in self.records if r.detected and r.first_detection < c
+        )
+
+    def escape_fraction_at(self, c: int) -> float:
+        """Fraction of faults still undetected after ``c`` cycles —
+        the empirical counterpart of the paper's ``Pndc`` (averaged over
+        the fault list rather than the worst site)."""
+        if not self.records:
+            return 0.0
+        return 1.0 - self.detected_within(c) / self.total
+
+    def latency_histogram(
+        self, bins: Optional[List[int]] = None
+    ) -> Dict[str, int]:
+        """Counts of first-detection cycles in ranges (for the figures)."""
+        if bins is None:
+            bins = [1, 2, 5, 10, 20, 50, 100]
+        edges = [0] + sorted(bins)
+        hist: Dict[str, int] = {}
+        for lo, hi in zip(edges, edges[1:]):
+            label = f"[{lo},{hi})"
+            hist[label] = sum(
+                1
+                for r in self.records
+                if r.detected and lo <= r.first_detection < hi
+            )
+        last = edges[-1]
+        hist[f"[{last},inf)"] = sum(
+            1
+            for r in self.records
+            if r.detected and r.first_detection >= last
+        )
+        hist["undetected"] = self.total - self.detected
+        return hist
+
+    # -- grouping ------------------------------------------------------------
+
+    def by_kind(self) -> Dict[str, "RecordStatistics"]:
+        out: Dict[str, RecordStatistics] = {}
+        for record in self.records:
+            group = out.get(record.kind)
+            if group is None:
+                group = out[record.kind] = self._spawn()
+            group.records.append(record)
+        return out
+
+    # -- the JSON-safe rollup ------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Strictly JSON-compliant: ``mean_detection_cycle`` is ``None``
+        (JSON ``null``) on zero detections, never ``NaN`` — ``NaN``
+        would make ``json.dumps`` emit non-compliant JSON."""
+        mean = self.mean_detection_cycle()
+        return {
+            "faults": self.total,
+            "detected": self.detected,
+            "coverage": round(self.coverage, 6),
+            "mean_detection_cycle": None if math.isnan(mean) else mean,
+            "max_detection_cycle": self.max_detection_cycle(),
+            "cycles_simulated": self.cycles_simulated,
+            "engine": self.engine,
+        }

@@ -33,13 +33,33 @@ record-by-record; the serial loops remain the reference semantics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.faultsim.fastsim import _map_jobs
 from repro.faultsim.results import CampaignResult, FaultRecord
 from repro.faultsim.transient import TransientUpset
 from repro.circuits.parallel import first_set_lane
 from repro.circuits.simulator import check_engine
+from repro.results import (
+    Provenance,
+    ResultStore,
+    campaign_key,
+    canonical_json,
+    content_digest,
+    describe_target,
+    fault_id,
+    scenario_material,
+    workload_material,
+)
 from repro.memory.faults import (
     CellStuckAt,
     CouplingFault,
@@ -536,6 +556,23 @@ class CampaignEngine:
       and :meth:`transient`, the streaming backends; :meth:`scheme`
       and :meth:`march` ignore it — their packed paths are already
       bounded by the address space / the compiled march length).
+
+    Since 1.4 the engine also carries the **artifact policy**:
+
+    * ``store`` — a :class:`repro.results.ResultStore` (or its root
+      path).  Every campaign is keyed on the canonical hash of
+      ``(target, scenarios, workload, engine-policy)``; identical
+      re-runs are served from disk, hash-verified, without invoking the
+      simulator.  With ``workers=N`` the scenario-list campaigns
+      (:meth:`decoder`, :meth:`transient`, :meth:`march`) additionally
+      checkpoint per shard, so an interrupted campaign resumes from its
+      completed shards.  Results served from the store carry the
+      printable fault identity (a string) in ``record.fault``.
+    * ``cache`` — ``False`` skips the lookup but still refreshes the
+      store entry (the CLI's ``--no-cache``).
+
+    ``workers`` and ``chunk`` are excluded from the campaign key: both
+    are proven result-invariant execution details.
     """
 
     def __init__(
@@ -544,6 +581,8 @@ class CampaignEngine:
         collapse: bool = True,
         workers: Optional[int] = None,
         chunk: Optional[int] = None,
+        store: Optional[Union[ResultStore, str]] = None,
+        cache: bool = True,
     ):
         check_engine(engine)
         if workers is not None and workers < 1:
@@ -554,12 +593,195 @@ class CampaignEngine:
         self.collapse = collapse
         self.workers = workers
         self.chunk = chunk
+        self.store = ResultStore.coerce(store)
+        self.cache = cache
 
     def __repr__(self) -> str:
         return (
             f"CampaignEngine(engine={self.engine!r}, "
             f"collapse={self.collapse}, workers={self.workers}, "
-            f"chunk={self.chunk})"
+            f"chunk={self.chunk}, store={self.store!r}, "
+            f"cache={self.cache})"
+        )
+
+    # -- artifact policy -----------------------------------------------------
+
+    def _material(
+        self,
+        family: str,
+        target: dict,
+        descriptions: Sequence[str],
+        workload: Optional[Workload],
+        extra: Optional[dict] = None,
+    ) -> dict:
+        """The canonical campaign-key material (see module docstring of
+        :mod:`repro.results.store`)."""
+        material = {
+            "format": 1,
+            "campaign": family,
+            "target": target,
+            "scenarios": scenario_material(descriptions),
+            "workload": (
+                workload_material(workload) if workload is not None else None
+            ),
+            "policy": {"engine": self.engine, "collapse": self.collapse},
+        }
+        if extra:
+            material["extra"] = extra
+        return material
+
+    def _provenance(
+        self,
+        family: str,
+        workload: Optional[Workload],
+        scenario_count: int,
+        material: Optional[dict] = None,
+        key: Optional[str] = None,
+        spec: Optional[dict] = None,
+    ) -> Provenance:
+        """The stamp every result carries.  The digest fields come from
+        the key ``material`` and are only present on store-keyed runs —
+        store-less campaigns skip the digest work entirely."""
+        from repro import __version__
+
+        workload_spec = None
+        workload_label = None
+        if workload is not None:
+            workload_label = workload.label()
+            as_dict = workload.to_dict()
+            if len(canonical_json(as_dict)) <= 4096:
+                workload_spec = as_dict
+        scenario_digest = None
+        target_digest = None
+        if material is not None:
+            scenario_digest = material["scenarios"]["digest"]
+            target_digest = content_digest(
+                canonical_json(material["target"])
+            )
+        return Provenance(
+            campaign=family,
+            engine=self.engine,
+            collapse=self.collapse,
+            workload=workload_label,
+            workload_spec=workload_spec,
+            scenario_count=scenario_count,
+            scenario_digest=scenario_digest,
+            target_digest=target_digest,
+            spec=spec,
+            repro_version=__version__,
+            key=key,
+        )
+
+    def _execute(
+        self,
+        family: str,
+        material_fn: Callable[[], dict],
+        scenarios: List,
+        runner: Callable[[List], CampaignResult],
+        workload: Optional[Workload] = None,
+        shardable: bool = False,
+        spec: Optional[dict] = None,
+        storable: bool = True,
+    ) -> CampaignResult:
+        """Run (or serve) one campaign under the artifact policy.
+
+        ``runner(subset)`` simulates a scenario subset and returns its
+        :class:`CampaignResult` in subset order — the contract the
+        shard-resume path relies on.  ``material_fn`` builds the key
+        material lazily: store-less runs never pay for target/scenario
+        digests.
+        """
+        if self.store is None or not storable:
+            result = runner(scenarios)
+            result.provenance = self._provenance(
+                family, workload, len(scenarios), spec=spec
+            )
+            return result
+        material = material_fn()
+        key = campaign_key(material)
+        provenance = self._provenance(
+            family, workload, len(scenarios),
+            material=material, key=key, spec=spec,
+        )
+        if self.cache:
+            cached = self.store.get(key)
+            if cached is not None:
+                view = cached.to_campaign()
+                view.from_store = True
+                return view
+        if (
+            shardable
+            and self.workers is not None
+            and self.workers > 1
+            and len(scenarios) > 1
+        ):
+            result, shard_keys = self._run_sharded(
+                family, material, scenarios, runner, workload, spec
+            )
+        else:
+            result = runner(scenarios)
+            shard_keys = []
+        result.provenance = provenance
+        result.store_key = key
+        self.store.put(key, result.to_result_set(provenance), material)
+        # the full entry supersedes the per-shard checkpoints — prune
+        # them so the store holds one entry per completed campaign
+        for shard_key in shard_keys:
+            self.store.delete(shard_key)
+        return result
+
+    def _run_sharded(
+        self,
+        family: str,
+        material: dict,
+        scenarios: List,
+        runner: Callable[[List], CampaignResult],
+        workload: Optional[Workload],
+        spec: Optional[dict],
+    ) -> Tuple[CampaignResult, List[str]]:
+        """Per-shard checkpointing: each of ``workers`` contiguous
+        scenario shards is stored under its own sub-key as it completes,
+        so a re-run after an interruption only simulates the shards that
+        never finished.  Records come back through the serialised form
+        uniformly, so resumed and fresh shards carry the same printable
+        fault identity.
+        """
+        shard_count = min(self.workers, len(scenarios))
+        base, remainder = divmod(len(scenarios), shard_count)
+        shards: List[List] = []
+        cursor = 0
+        for index in range(shard_count):
+            size = base + (1 if index < remainder else 0)
+            shards.append(scenarios[cursor:cursor + size])
+            cursor += size
+        parts: List[CampaignResult] = []
+        shard_keys: List[str] = []
+        for index, shard in enumerate(shards):
+            shard_material = dict(material)
+            shard_material["shard"] = {"index": index, "of": shard_count}
+            shard_key = campaign_key(shard_material)
+            shard_keys.append(shard_key)
+            cached = self.store.get(shard_key) if self.cache else None
+            if cached is not None:
+                parts.append(cached.to_campaign())
+                continue
+            part = runner(shard)
+            shard_provenance = self._provenance(
+                family, workload, len(shard),
+                material=shard_material, key=shard_key, spec=spec,
+            )
+            shard_set = part.to_result_set(shard_provenance)
+            self.store.put(shard_key, shard_set, shard_material)
+            parts.append(shard_set.to_campaign())
+        return (
+            CampaignResult(
+                records=[
+                    record for part in parts for record in part.records
+                ],
+                cycles_simulated=parts[0].cycles_simulated,
+                engine=self.engine,
+            ),
+            shard_keys,
         )
 
     # -- structural campaigns ------------------------------------------------
@@ -571,25 +793,51 @@ class CampaignEngine:
         faults: Sequence,
         workload: Union[Workload, Sequence[int]],
         attach_analytic: bool = True,
+        spec: Optional[dict] = None,
     ) -> CampaignResult:
         """Stuck-at campaign on a checked decoder (see
-        :func:`repro.faultsim.campaign.decoder_campaign`)."""
+        :func:`repro.faultsim.campaign.decoder_campaign`).
+
+        ``spec`` (a ``DesignSpec.to_dict()``) is stamped into the
+        provenance when the campaign backs a design flow — it does not
+        enter the campaign key (the built hardware already does).
+        """
         from repro.faultsim.campaign import decoder_campaign
 
+        workload = as_workload(workload)
         bare = [
             s.fault if isinstance(s, StructuralScenario) else s
             for s in faults
         ]
-        return decoder_campaign(
-            checked,
-            checker,
-            bare,
-            as_workload(workload),
-            attach_analytic=attach_analytic,
-            engine=self.engine,
-            collapse=self.collapse,
-            workers=self.workers,
-            chunk=self.chunk,
+
+        def run(subset: List) -> CampaignResult:
+            return decoder_campaign(
+                checked,
+                checker,
+                subset,
+                workload,
+                attach_analytic=attach_analytic,
+                engine=self.engine,
+                collapse=self.collapse,
+                workers=self.workers,
+                chunk=self.chunk,
+            )
+
+        def material():
+            return self._material(
+                "decoder",
+                {
+                    "checked": describe_target(checked),
+                    "checker": describe_target(checker),
+                },
+                [fault_id(fault) for fault in bare],
+                workload,
+                extra={"attach_analytic": attach_analytic},
+            )
+
+        return self._execute(
+            "decoder", material, bare, run,
+            workload=workload, shardable=True, spec=spec,
         )
 
     def scheme(
@@ -604,33 +852,66 @@ class CampaignEngine:
         faults) — see :func:`repro.faultsim.campaign.scheme_campaign`."""
         from repro.faultsim.campaign import scheme_campaign
 
-        row_faults: List = []
-        column_faults: List = []
-        memory_faults: List = []
+        workload = as_workload(workload)
+        row_scenarios: List[StructuralScenario] = []
+        column_scenarios: List[StructuralScenario] = []
+        memory_scenarios: List[MemoryScenario] = []
         for scenario in as_scenarios(scenarios):
             if isinstance(scenario, StructuralScenario):
-                target = (
-                    row_faults if scenario.axis == "row" else column_faults
+                bucket = (
+                    row_scenarios
+                    if scenario.axis == "row"
+                    else column_scenarios
                 )
-                target.append(scenario.fault)
+                bucket.append(scenario)
             elif isinstance(scenario, MemoryScenario):
-                memory_faults.append(scenario.fault)
+                memory_scenarios.append(scenario)
             else:
                 raise TypeError(
                     f"scheme campaigns take structural or memory "
                     f"scenarios, not {scenario.kind!r} "
                     f"(use CampaignEngine.transient for upsets)"
                 )
-        return scheme_campaign(
-            memory,
-            as_workload(workload),
-            row_faults=row_faults,
-            column_faults=column_faults,
-            memory_faults=memory_faults,
-            writer=writer,
-            engine=self.engine,
-            collapse=self.collapse,
-            workers=self.workers,
+        # record order is row -> column -> memory; key material and the
+        # (unshardable) runner both speak that canonical order
+        ordered = row_scenarios + column_scenarios + memory_scenarios
+
+        def run(subset: List) -> CampaignResult:
+            return scheme_campaign(
+                memory,
+                workload,
+                row_faults=[
+                    s.fault for s in subset
+                    if isinstance(s, StructuralScenario) and s.axis == "row"
+                ],
+                column_faults=[
+                    s.fault for s in subset
+                    if isinstance(s, StructuralScenario)
+                    and s.axis == "column"
+                ],
+                memory_faults=[
+                    s.fault for s in subset
+                    if isinstance(s, MemoryScenario)
+                ],
+                writer=writer,
+                engine=self.engine,
+                collapse=self.collapse,
+                workers=self.workers,
+            )
+
+        def material():
+            return self._material(
+                "scheme",
+                describe_target(memory),
+                [scenario.describe() for scenario in ordered],
+                workload,
+            )
+
+        # a custom writer changes memory contents in ways the key cannot
+        # capture (it is an arbitrary callable) — never cache those runs
+        return self._execute(
+            "scheme", material, ordered, run,
+            workload=workload, storable=writer is None,
         )
 
     # -- transient campaigns -------------------------------------------------
@@ -668,27 +949,42 @@ class CampaignEngine:
                 )
             normalized.append(scenario)
         _validate_transient(ram, normalized)
-        outcomes = _map_jobs(
-            _transient_worker,
-            (ram, workload, self.engine, self.chunk),
-            normalized,
-            self.workers,
-        )
-        result = CampaignResult(
-            cycles_simulated=len(workload), engine=self.engine
-        )
-        for scenario, (first_error, first_detection) in zip(
-            normalized, outcomes
-        ):
-            result.add(
-                FaultRecord(
-                    fault=scenario,
-                    kind="transient",
-                    first_detection=first_detection,
-                    first_error=first_error,
-                )
+
+        def run(subset: List[TransientScenario]) -> CampaignResult:
+            outcomes = _map_jobs(
+                _transient_worker,
+                (ram, workload, self.engine, self.chunk),
+                subset,
+                self.workers,
             )
-        return result
+            result = CampaignResult(
+                cycles_simulated=len(workload), engine=self.engine
+            )
+            for scenario, (first_error, first_detection) in zip(
+                subset, outcomes
+            ):
+                result.add(
+                    FaultRecord(
+                        fault=scenario,
+                        kind="transient",
+                        first_detection=first_detection,
+                        first_error=first_error,
+                    )
+                )
+            return result
+
+        def material():
+            return self._material(
+                "transient",
+                describe_target(ram),
+                [scenario.describe() for scenario in normalized],
+                workload,
+            )
+
+        return self._execute(
+            "transient", material, normalized, run,
+            workload=workload, shardable=True,
+        )
 
     # -- march campaigns -----------------------------------------------------
 
@@ -717,21 +1013,36 @@ class CampaignEngine:
                     f"not {scenario.kind!r}"
                 )
             normalized.append(scenario)
-        outcomes = _map_jobs(
-            _march_worker,
-            (ram, workload, self.engine),
-            normalized,
-            self.workers,
-        )
-        result = CampaignResult(
-            cycles_simulated=len(workload), engine=self.engine
-        )
-        for scenario, first_detection in zip(normalized, outcomes):
-            result.add(
-                FaultRecord(
-                    fault=scenario,
-                    kind="memory",
-                    first_detection=first_detection,
-                )
+
+        def run(subset: List[MemoryScenario]) -> CampaignResult:
+            outcomes = _map_jobs(
+                _march_worker,
+                (ram, workload, self.engine),
+                subset,
+                self.workers,
             )
-        return result
+            result = CampaignResult(
+                cycles_simulated=len(workload), engine=self.engine
+            )
+            for scenario, first_detection in zip(subset, outcomes):
+                result.add(
+                    FaultRecord(
+                        fault=scenario,
+                        kind="memory",
+                        first_detection=first_detection,
+                    )
+                )
+            return result
+
+        def material():
+            return self._material(
+                "march",
+                describe_target(ram),
+                [scenario.describe() for scenario in normalized],
+                workload,
+            )
+
+        return self._execute(
+            "march", material, normalized, run,
+            workload=workload, shardable=True,
+        )

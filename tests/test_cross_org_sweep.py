@@ -51,7 +51,7 @@ def test_plan_overhead_consistent_with_scheme(org):
 def test_decoder_fault_detected_within_budget(org):
     """One injected merge per organisation must be caught quickly."""
     from repro.circuits.faults import NetStuckAt
-    from repro.faultsim.injector import random_addresses
+    from repro.scenarios import Workload
 
     c, pndc = 10, 1e-9
     memory = SelfCheckingMemory.from_selection(org, select_code(c, pndc))
@@ -59,7 +59,7 @@ def test_decoder_fault_detected_within_budget(org):
     memory.inject_row_fault(NetStuckAt(line, 1))
     detected_at = None
     for cycle, address in enumerate(
-        random_addresses(org.n, 600, seed=org.words)
+        Workload.uniform(1 << org.n, 600, seed=org.words).addresses()
     ):
         if memory.read(address).error_detected:
             detected_at = cycle

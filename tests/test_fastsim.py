@@ -31,7 +31,6 @@ from repro.faultsim.fastsim import PackedStream, _PackedCircuit
 from repro.faultsim.injector import (
     burst_addresses,
     decoder_fault_list,
-    random_addresses,
     rom_fault_list,
     sample_faults,
     sequential_addresses,
@@ -44,6 +43,13 @@ from repro.memory.faults import (
 )
 from repro.memory.organization import MemoryOrganization
 from repro.rom.nor_matrix import CheckedDecoder
+from repro.scenarios import Workload
+
+
+def _uniform_addresses(n_bits, cycles, seed=0):
+    """Uniform stimulus via the canonical Workload (the pre-1.4
+    random_addresses shim now warns)."""
+    return Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
 
 def record_key(result):
@@ -114,7 +120,7 @@ class TestPackedCircuit:
             assert got == expected, fault
 
     def test_golden_pass_matches_evaluate_packed(self, checked4):
-        addresses = random_addresses(4, 40, seed=9)
+        addresses = _uniform_addresses(4, 40, seed=9)
         stream = PackedStream(checked4, addresses)
         expected = evaluate_packed(
             checked4.circuit, stream.packed_inputs, stream.num_lanes
@@ -138,7 +144,7 @@ class TestDecoderCampaignEquivalence:
                 checked4.circuit, include_inputs=True, include_pins=True
             )
         )
-        addresses = random_addresses(4, 220, seed=5)
+        addresses = _uniform_addresses(4, 220, seed=5)
         serial = decoder_campaign(
             checked4, checker35, faults, addresses, engine="serial"
         )
@@ -180,14 +186,14 @@ class TestDecoderCampaignEquivalence:
         assert record_key(serial) == record_key(packed)
         assert all(r.first_detection is None for r in packed.records)
         empty = decoder_campaign(
-            checked4, checker35, [], random_addresses(4, 16),
+            checked4, checker35, [], _uniform_addresses(4, 16),
             attach_analytic=False,
         )
         assert empty.total == 0
 
     def test_workers_shard_matches_serial(self, checked4, checker35):
         faults = decoder_fault_list(checked4)
-        addresses = random_addresses(4, 120, seed=8)
+        addresses = _uniform_addresses(4, 120, seed=8)
         sharded = decoder_campaign(
             checked4, checker35, faults, addresses, workers=2,
             attach_analytic=False,
@@ -201,7 +207,7 @@ class TestDecoderCampaignEquivalence:
     def test_duplicate_faults_in_list(self, checked4, checker35):
         fault = decoder_fault_list(checked4)[3]
         faults = [fault, fault, fault]
-        addresses = random_addresses(4, 60, seed=1)
+        addresses = _uniform_addresses(4, 60, seed=1)
         serial = decoder_campaign(
             checked4, checker35, faults, addresses, engine="serial",
             attach_analytic=False,
@@ -235,7 +241,7 @@ class _MembershipChecker(Checker):
 def test_plugin_checker_campaign_matches_serial(checked4):
     checker = _MembershipChecker(checked4.mapping)
     faults = decoder_fault_list(checked4)
-    addresses = random_addresses(4, 150, seed=13)
+    addresses = _uniform_addresses(4, 150, seed=13)
     serial = decoder_campaign(
         checked4, checker, faults, addresses, engine="serial",
         attach_analytic=False,
@@ -274,7 +280,7 @@ class TestSchemeCampaignEquivalence:
         column_faults = sample_faults(
             decoder_fault_list(serial_memory.column), 10, seed=4
         )
-        addresses = random_addresses(
+        addresses = _uniform_addresses(
             serial_memory.organization.n, 250, seed=3
         )
         serial = scheme_campaign(
@@ -307,7 +313,7 @@ class TestSchemeCampaignEquivalence:
         row_faults = sample_faults(
             decoder_fault_list(serial_memory.row), 14, seed=6
         )
-        addresses = random_addresses(
+        addresses = _uniform_addresses(
             serial_memory.organization.n, 200, seed=11
         )
         serial = scheme_campaign(
@@ -331,7 +337,7 @@ class TestSchemeCampaignEquivalence:
         row_faults = sample_faults(
             decoder_fault_list(serial_memory.row), 12, seed=2
         )
-        addresses = random_addresses(
+        addresses = _uniform_addresses(
             serial_memory.organization.n, 150, seed=5
         )
         serial = scheme_campaign(

@@ -23,6 +23,11 @@ from repro.faultsim.results import CampaignResult, FaultRecord
 from repro.memory.faults import CellStuckAt
 from repro.memory.organization import MemoryOrganization
 from repro.rom.nor_matrix import CheckedDecoder
+from repro.scenarios import Workload
+
+
+def _uniform_addresses(n_bits, cycles, seed=0):
+    return Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
 
 @pytest.fixture(scope="module")
@@ -35,7 +40,12 @@ def checker35():
     return MOutOfNChecker(3, 5, structural=False)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestInjector:
+    def test_1_2_stream_shims_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="Workload.uniform"):
+            random_addresses(4, 10, seed=1)
+
     def test_random_addresses_deterministic(self):
         assert random_addresses(4, 10, seed=1) == random_addresses(
             4, 10, seed=1
@@ -77,13 +87,13 @@ class TestInjector:
 class TestDecoderCampaign:
     def test_full_coverage_on_long_uniform_stream(self, checked4, checker35):
         faults = decoder_fault_list(checked4)
-        addresses = random_addresses(4, 600, seed=5)
+        addresses = _uniform_addresses(4, 600, seed=5)
         result = decoder_campaign(checked4, checker35, faults, addresses)
         assert result.coverage == 1.0
 
     def test_sa0_zero_latency(self, checked4, checker35):
         faults = decoder_fault_list(checked4)
-        addresses = random_addresses(4, 300, seed=5)
+        addresses = _uniform_addresses(4, 300, seed=5)
         result = decoder_campaign(checked4, checker35, faults, addresses)
         for record in result.records:
             if record.kind == "sa0" and record.detected:
@@ -92,14 +102,14 @@ class TestDecoderCampaign:
     def test_analytic_escape_attached(self, checked4, checker35):
         faults = decoder_fault_list(checked4)[:6]
         result = decoder_campaign(
-            checked4, checker35, faults, random_addresses(4, 50)
+            checked4, checker35, faults, _uniform_addresses(4, 50)
         )
         assert all(r.analytic_escape is not None for r in result.records)
 
     def test_rom_output_faults_detected(self, checked4, checker35):
         faults = rom_fault_list(checked4)
         result = decoder_campaign(
-            checked4, checker35, faults, random_addresses(4, 200, seed=9)
+            checked4, checker35, faults, _uniform_addresses(4, 200, seed=9)
         )
         # a ROM bit stuck flips some programmed word off-weight
         assert result.coverage == 1.0
@@ -129,7 +139,7 @@ class TestSchemeCampaign:
             decoder_fault_list(memory.row), 12, seed=2
         )
         cell_faults = [CellStuckAt(5, 1, 1), CellStuckAt(9, 0, 0)]
-        addresses = random_addresses(org.n, 400, seed=3)
+        addresses = _uniform_addresses(org.n, 400, seed=3)
         result = scheme_campaign(
             memory,
             addresses,

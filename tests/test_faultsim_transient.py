@@ -9,6 +9,16 @@ from repro.memory.organization import MemoryOrganization
 from repro.memory.ram import BehavioralRAM
 
 
+#: this module exercises the pre-1.3 shim layer on purpose — the 1.4
+#: DeprecationWarnings are expected here, asserted once below
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_scrubbed_stream_warns_deprecation():
+    with pytest.warns(DeprecationWarning, match="Workload.scrubbed"):
+        scrubbed_stream(8, 10, scrub_period=2)
+
+
 def make_ram(words=32):
     return BehavioralRAM(MemoryOrganization(words, 8, column_mux=4))
 

@@ -15,9 +15,9 @@ from repro.decoder.analysis import analyze_decoder
 from repro.faultsim.campaign import decoder_campaign, scheme_campaign
 from repro.faultsim.injector import (
     decoder_fault_list,
-    random_addresses,
     sample_faults,
 )
+from repro.scenarios import Workload
 from repro.memory.faults import CellStuckAt
 from repro.rom.nor_matrix import CheckedDecoder
 
@@ -34,7 +34,7 @@ class TestRequirementToSilicon:
             selection.code.m, selection.code.n, structural=False
         )
         faults = decoder_fault_list(checked)
-        addresses = random_addresses(6, 800, seed=13)
+        addresses = Workload.uniform(64, 800, seed=13)
         result = decoder_campaign(
             checked, checker, faults, addresses, attach_analytic=False
         )
@@ -122,7 +122,7 @@ class TestEndToEndCampaign:
         row_faults = sample_faults(
             decoder_fault_list(memory.row), 16, seed=21
         )
-        addresses = random_addresses(org.n, 500, seed=22)
+        addresses = Workload.uniform(1 << org.n, 500, seed=22)
         result = scheme_campaign(memory, addresses, row_faults=row_faults)
         assert result.coverage == 1.0
         # most detections happen within tens of cycles

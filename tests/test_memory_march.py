@@ -173,7 +173,12 @@ class TestWriteTriggeredCoupling:
                 assert record.detected == bool(run_march(ram, test))
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestAddressStream:
+    def test_shim_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="Workload.march"):
+            march_address_stream(MATS_PLUS, 4)
+
     def test_stream_length(self):
         words = 8
         stream = march_address_stream(MATS_PLUS, words)

@@ -2,6 +2,8 @@
 
 import itertools
 
+import pytest
+
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -148,6 +150,7 @@ class TestMarchProperties:
         ram.inject(CellStuckAt(address, bit, value))
         assert run_march(ram, MARCH_C_MINUS)
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @given(st.sampled_from([MATS_PLUS, MARCH_C_MINUS]))
     @settings(max_examples=10)
     def test_stream_length_is_complexity_times_words(self, test):

@@ -81,8 +81,18 @@ def checker35():
 # -- Workload vocabulary -----------------------------------------------------
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestWorkloadShims:
-    """The pre-1.3 stream helpers are bit-identical views of workloads."""
+    """The pre-1.3 stream helpers are bit-identical views of workloads
+    (and, since 1.4, warn that Workload is the canonical path)."""
+
+    def test_1_2_shims_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="Workload.uniform"):
+            random_addresses(4, 5)
+        with pytest.warns(DeprecationWarning, match="Workload.scrubbed"):
+            scrubbed_stream(8, 10, scrub_period=2)
+        with pytest.warns(DeprecationWarning, match="Workload.march"):
+            march_address_stream(MARCH_C_MINUS, 4)
 
     def test_uniform_matches_random_addresses(self):
         assert (
@@ -579,6 +589,7 @@ class TestTransientEngines:
         )
         assert ram.parity_ok(5)  # the upset's flip was cleaned up
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_legacy_shim_matches_engine(self):
         upsets = [TransientUpset(5, 2, 3), TransientUpset(9, 0, 30)]
         stream = scrubbed_stream(32, 200, 4, seed=7)
