@@ -5,8 +5,6 @@
 sub-decoder entirely unchecked.  The bench quantifies the coverage gap.
 """
 
-import pytest
-
 from repro.experiments.ablations import run_odd_a_ablation
 
 

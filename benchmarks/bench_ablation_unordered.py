@@ -6,8 +6,6 @@ systematic codes of the same width.  The bench measures the silent-escape
 gap on identical decoders.
 """
 
-import pytest
-
 from repro.experiments.ablations import run_unordered_ablation
 
 

@@ -7,8 +7,6 @@ dominates a measured sweep campaign, and shows the §III.1 ablation
 mapping has *no* finite guarantee.
 """
 
-import pytest
-
 from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.deterministic import deterministic_bounds, scan_guarantee

@@ -5,8 +5,6 @@ storage, and silently mis-handles a large fraction of decoder-merge
 patterns that the paper's ROM scheme flags by construction.
 """
 
-import pytest
-
 from repro.experiments.ecc_baseline import (
     run_ecc_baseline,
     storage_overhead_rows,

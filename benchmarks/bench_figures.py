@@ -5,8 +5,6 @@ the trade-off curve is non-increasing in c and ordered by RAM size; the
 survival curve's measured points track the analytic ones.
 """
 
-import pytest
-
 from repro.experiments.figures import survival_figure, tradeoff_figure
 
 

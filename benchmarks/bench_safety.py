@@ -1,6 +1,5 @@
 """E3 — §II safety example: the three-orders-of-magnitude argument."""
 
-import math
 
 import pytest
 

@@ -6,8 +6,6 @@ bench instantiates the figure-3 system and re-verifies the connectivity
 checklist, timing the full build (decoder trees + NOR ROMs + checkers).
 """
 
-import pytest
-
 from repro.experiments.structure import (
     build_figure3_instance,
     verify_structure,

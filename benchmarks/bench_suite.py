@@ -1,0 +1,113 @@
+"""Suite orchestrator benchmark: cold vs resumed -> BENCH_suite.json.
+
+Times the built-in ``paper_grid`` suite twice against one store — the
+cold run simulates every cell, the resumed run must serve everything as
+verified hits without invoking the simulator — and records both wall
+times plus the resume speedup.  Like ``run_campaigns.py`` the payload
+is written once per run and appended to a persistent history
+trajectory, so the batch layer's overhead is tracked commit over
+commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py [--out PATH]
+        [--suite NAME] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro import __version__
+from repro.suite import SuiteRunner, builtin_suite
+
+
+def bench_suite(name: str, workers=None) -> dict:
+    suite = builtin_suite(name)
+    with tempfile.TemporaryDirectory() as store:
+        start = time.perf_counter()
+        cold = SuiteRunner(store=store, workers=workers).run(suite)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        resumed = SuiteRunner(store=store, workers=workers).run(suite)
+        resumed_s = time.perf_counter() - start
+    cells = len(suite.cells())
+    ok = (
+        cold.errors == 0
+        and resumed.errors == 0
+        and resumed.simulated == 0
+        and resumed.verified_hits == cells
+        and cold.to_dict(stable_only=True)
+        == resumed.to_dict(stable_only=True)
+    )
+    return {
+        "name": f"suite_{name}",
+        "cells": cells,
+        "workers": workers,
+        "cold_s": round(cold_s, 4),
+        "resumed_s": round(resumed_s, 4),
+        "cold_cells_per_sec": round(cells / cold_s, 1),
+        "resumed_cells_per_sec": round(cells / resumed_s, 1),
+        "resume_speedup": round(cold_s / resumed_s, 1),
+        "resumed_all_verified_hits": ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_suite.json")
+    parser.add_argument(
+        "--history", default="BENCH_suite.history.jsonl",
+        metavar="PATH",
+        help="persistent trajectory: every run appends one JSON line "
+        "('' disables)",
+    )
+    parser.add_argument("--suite", default="paper_grid")
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    benches = [bench_suite(args.suite, workers=args.workers)]
+    payload = {
+        "bench": "suite_orchestrator",
+        "version": __version__,
+        "benches": benches,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    if args.history:
+        entry = dict(payload, timestamp=round(time.time(), 1))
+        with open(args.history, "a") as handle:
+            json.dump(
+                entry, handle, sort_keys=True, separators=(",", ":")
+            )
+            handle.write("\n")
+
+    for bench in benches:
+        flag = "ok " if bench["resumed_all_verified_hits"] else "MISMATCH"
+        print(
+            f"{bench['name']}  {bench['cells']:>3} cells  "
+            f"cold {bench['cold_s'] * 1e3:8.1f} ms  "
+            f"resumed {bench['resumed_s'] * 1e3:7.1f} ms  "
+            f"x{bench['resume_speedup']:<6g} [{flag}]"
+        )
+    print(f"wrote {args.out}")
+    if args.history:
+        print(f"appended to {args.history}")
+
+    if not all(b["resumed_all_verified_hits"] for b in benches):
+        print(
+            "FAIL: the resumed suite run was not served entirely from "
+            "verified store hits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

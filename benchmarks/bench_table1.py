@@ -7,7 +7,6 @@ per-size ordering (16x2K > 32x4K > 64x8K) holds on every row.
 
 import pytest
 
-from repro.experiments.common import parse_code_name
 from repro.experiments.table1 import generate_table1, render_table1
 
 

@@ -7,8 +7,6 @@
 * the [NIC 94] identity-mapping endpoint: *every* fault zero-latency.
 """
 
-import pytest
-
 from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import IdentityMapping, mapping_for_code

@@ -234,8 +234,9 @@ def main(argv=None) -> int:
         # are comparable across versions/commits without scraping CI logs
         entry = dict(payload, timestamp=round(time.time(), 1))
         with open(args.history, "a") as handle:
-            json.dump(entry, handle, sort_keys=True,
-                      separators=(",", ":"))
+            json.dump(
+                entry, handle, sort_keys=True, separators=(",", ":")
+            )
             handle.write("\n")
 
     width = max(len(b["name"]) for b in benches)
@@ -252,8 +253,10 @@ def main(argv=None) -> int:
         print(f"appended to {args.history}")
 
     if not all(b["identical"] for b in benches):
-        print("FAIL: packed engine diverged from the serial oracle",
-              file=sys.stderr)
+        print(
+            "FAIL: packed engine diverged from the serial oracle",
+            file=sys.stderr,
+        )
         return 1
     if args.check_speedup is not None:
         target = benches[0]

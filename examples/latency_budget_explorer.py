@@ -36,8 +36,10 @@ def main() -> None:
             ]
             for pt in points
         ]
-        print(f"\n{org.label()} RAM — detection budget sweep "
-              f"(Pndc <= {pndc:g})")
+        print(
+            f"\n{org.label()} RAM — detection budget sweep "
+            f"(Pndc <= {pndc:g})"
+        )
         print(
             format_table(
                 ["c (cycles)", "code", "a", "escape/cycle", "area %"], rows

@@ -13,7 +13,6 @@ Run: ``python examples/other_memory_types.py``
 
 from repro.area.stdcell import StdCellAreaModel
 from repro.checkers.m_out_of_n_checker import MOutOfNChecker
-from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import mapping_for_code
 from repro.core.selection import select_code
 from repro.memory.cam import BehavioralCAM

@@ -24,14 +24,22 @@ def main() -> None:
     # 2. Evaluate it: the structured report carries selections, the
     #    guarantees they buy and the area bill under both models.
     report = engine.evaluate(spec)
-    print(f"selected code : {report.row.code} (mapping modulus a = "
-          f"{report.row.a_final})")
-    print(f"guarantee     : Pndc = {report.row.pndc_achieved:.3g} after "
-          f"{report.row.c} cycles")
-    print(f"area overhead : {report.area.stdcell_overhead_percent:.1f} % "
-          f"(std-cell model, decoder checking)")
-    print(f"(machine-readable: report.to_json() -> "
-          f"{len(report.to_json())} bytes)\n")
+    print(
+        f"selected code : {report.row.code} (mapping modulus a = "
+        f"{report.row.a_final})"
+    )
+    print(
+        f"guarantee     : Pndc = {report.row.pndc_achieved:.3g} after "
+        f"{report.row.c} cycles"
+    )
+    print(
+        f"area overhead : {report.area.stdcell_overhead_percent:.1f} % "
+        f"(std-cell model, decoder checking)"
+    )
+    print(
+        f"(machine-readable: report.to_json() -> "
+        f"{len(report.to_json())} bytes)\n"
+    )
 
     # 3. Build the self-checking memory (figure 3) and use it.
     memory = engine.build(spec)

@@ -49,6 +49,10 @@ Layer map
                    campaign cache
 ``repro.faultsim`` fault-injection campaigns: packed bit-parallel
                    engine (default) + the serial reference oracle
+``repro.suite``    the batch layer: declarative SuiteSpec campaign
+                   matrices, a pooled SuiteRunner with store-backed
+                   resume, SuiteReport aggregation, the built-in
+                   paper_grid suite
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
 
@@ -65,6 +69,16 @@ Campaign quick path (1.3+)::
     artifact = result.to_result_set()    # provenance-stamped, JSONL-able
     # an identical re-run is now a verified store hit — the simulator
     # is never invoked; inspect with `repro results ls/show/diff`
+
+Suite quick path (1.5+)::
+
+    from repro.suite import SuiteRunner, builtin_suite
+
+    report = SuiteRunner(store=".repro-store", workers=4).run(
+        builtin_suite("paper_grid")
+    )
+    # re-running resumes: every completed cell is a verified store hit
+    # (CLI: `repro suite run paper_grid --store .repro-store`)
 """
 
 from repro.area.model import PaperAreaModel
@@ -111,7 +125,7 @@ from repro.scenarios import (
     Workload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

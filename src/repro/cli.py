@@ -387,6 +387,112 @@ def _cmd_results_export(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- campaign suites: `repro suite run|ls|show` ------------------------------
+
+
+def _suite_progress(stream) -> Callable[[dict], None]:
+    """Per-cell progress lines on ``stream`` (stderr, so ``--json`` on
+    stdout stays machine-readable)."""
+
+    def emit(event: dict) -> None:
+        if event.get("event") != "done":
+            return
+        status = event.get("status", "?")
+        wall = event.get("wall_time_s") or 0.0
+        print(
+            f"[{event['index'] + 1}/{event['total']}] "
+            f"{event['cell']}: {status} ({wall * 1e3:.0f}ms)",
+            file=stream,
+        )
+
+    return emit
+
+
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    from repro.suite import SuiteRunner, load_suite
+
+    suite = load_suite(args.suite)
+    progress = None if args.quiet else _suite_progress(sys.stderr)
+    runner = SuiteRunner(
+        store=args.store,
+        cache=not args.no_cache,
+        workers=args.workers,
+        progress=progress,
+    )
+    report = runner.run(
+        suite, only=args.only, engine=args.engine_override
+    )
+    if args.json:
+        _emit(args, report.to_json(indent=2))
+    else:
+        _emit(args, report.render())
+    return 1 if report.errors else 0
+
+
+def _cmd_suite_ls(args: argparse.Namespace) -> int:
+    from repro.suite import builtin_names, builtin_suite
+
+    suites = [builtin_suite(name) for name in builtin_names()]
+    if args.json:
+        payload = [
+            {
+                "name": suite.name,
+                "cells": len(suite.cells()),
+                "families": list(suite.families()),
+                "description": suite.description,
+            }
+            for suite in suites
+        ]
+        _emit(args, json.dumps(payload, indent=2))
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            suite.name,
+            len(suite.cells()),
+            ", ".join(suite.families()),
+            suite.description,
+        ]
+        for suite in suites
+    ]
+    _emit(
+        args,
+        f"built-in campaign suites ({len(suites)})\n"
+        + format_table(["suite", "cells", "families", "description"], rows),
+    )
+    return 0
+
+
+def _cmd_suite_show(args: argparse.Namespace) -> int:
+    from repro.suite import load_suite
+
+    suite = load_suite(args.suite)
+    cells = suite.cells()
+    if args.json:
+        payload = dict(suite.to_dict(), cells=[c.to_dict() for c in cells])
+        _emit(args, json.dumps(payload, indent=2))
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            cell.cell_id,
+            cell.family,
+            (cell.scenarios or {}).get("population", "-"),
+            cell.policy.get("engine", "packed"),
+        ]
+        for cell in cells
+    ]
+    _emit(
+        args,
+        f"suite {suite.name} — {len(cells)} cells\n"
+        f"{suite.description}\n"
+        + format_table(["cell", "family", "population", "engine"], rows),
+    )
+    return 0
+
+
 # -- experiment regenerators (one table, not ten handlers) -------------------
 
 
@@ -508,6 +614,20 @@ EXPERIMENTS = (
 # -- parser ------------------------------------------------------------------
 
 
+#: shown at the end of `repro --help`
+EPILOG = """\
+campaign suites (1.5):
+  repro suite ls                         list the built-in suites
+  repro suite show paper_grid            the expanded campaign matrix
+  repro suite run paper_grid --store S   run the paper's full grid;
+                                         re-running against the same
+                                         store serves every cell as a
+                                         verified hit (resume-by-default)
+  repro suite run grid.json --workers 4  a custom SuiteSpec file over a
+                                         bounded 4-process pool
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -515,6 +635,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Area Versus Detection Latency Trade-Offs in "
             "Self-Checking Memory Design' (DATE 1995)."
         ),
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
@@ -639,7 +761,89 @@ def build_parser() -> argparse.ArgumentParser:
         results_ls, results_show, results_diff, results_export
     ):
         _add_store_options(sub_parser, required_default=True)
+    for sub_parser in (results_ls, results_show, results_diff):
         _add_output_options(sub_parser)
+    # export is inherently JSONL — only the output path applies
+    results_export.add_argument(
+        "--out", metavar="PATH", help="write the JSONL to a file"
+    )
+
+    suite = sub.add_parser(
+        "suite",
+        help="declarative campaign suites with store-backed resume",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+    suite_run = suite_sub.add_parser(
+        "run",
+        help="run a suite (built-in name or SuiteSpec JSON file); "
+        "completed cells resume from the store",
+    )
+    suite_run.add_argument(
+        "suite", help="built-in suite name (see `suite ls`) or spec file"
+    )
+    engine_group = suite_run.add_mutually_exclusive_group()
+    engine_group.add_argument(
+        "--packed",
+        dest="engine_override",
+        action="store_const",
+        const="packed",
+        default=None,
+        help="override every cell's policy to the packed engine",
+    )
+    engine_group.add_argument(
+        "--serial",
+        dest="engine_override",
+        action="store_const",
+        const="serial",
+        help="override every cell's policy to the serial oracle",
+    )
+    suite_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="schedule cells over a bounded N-process pool",
+    )
+    from repro.suite.spec import FAMILIES
+
+    suite_run.add_argument(
+        "--only",
+        choices=FAMILIES,
+        default=None,
+        help="run only the cells of one campaign family",
+    )
+    suite_run.add_argument(
+        "--store",
+        metavar="PATH",
+        default=_default_store(),
+        help="result store backing the suite (resume-by-default; "
+        "defaults to $REPRO_STORE or .repro-store)",
+    )
+    suite_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-run every cell but still refresh the store entries",
+    )
+    suite_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+    _add_output_options(suite_run)
+    suite_run.set_defaults(func=_cmd_suite_run)
+    suite_ls = suite_sub.add_parser(
+        "ls", help="list the built-in suites"
+    )
+    _add_output_options(suite_ls)
+    suite_ls.set_defaults(func=_cmd_suite_ls)
+    suite_show = suite_sub.add_parser(
+        "show", help="expand a suite into its concrete campaign cells"
+    )
+    suite_show.add_argument(
+        "suite", help="built-in suite name or spec file"
+    )
+    _add_output_options(suite_show)
+    suite_show.set_defaults(func=_cmd_suite_show)
 
     registry = sub.add_parser(
         "registry", help="list pluggable codes/checkers/mappings/decoders"

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import List, Optional
+from typing import Optional
 
 __all__ = [
     "collision_count",

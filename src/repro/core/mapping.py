@@ -24,7 +24,7 @@ detectable: two simultaneously-selected lines escape iff they carry the
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import List
 
 from repro.codes.base import BitVector
 from repro.codes.berger import BergerCode

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.circuits.faults import FaultBase, NetStuckAt
 from repro.core.latency import collision_count
@@ -41,7 +41,6 @@ from repro.core.mapping import (
     TruncatedBergerMapping,
 )
 from repro.decoder.tree import DecoderTree
-from repro.utils.bitops import parity_of
 
 __all__ = [
     "FaultSite",

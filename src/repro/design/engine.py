@@ -48,6 +48,11 @@ from repro.design.spec import DesignSpec
 
 __all__ = ["DesignEngine"]
 
+#: seed of the default empirical measurement — part of the report-cache
+#: key, so it lives once (evaluate/empirical defaults and report_key
+#: all reference it)
+DEFAULT_EMPIRICAL_SEED = 7
+
 
 class DesignEngine:
     """Executes the design flow: plan, build, evaluate, sweep.
@@ -125,7 +130,7 @@ class DesignEngine:
         plan: Optional[MemoryCodePlan] = None,
         memory: Optional[SelfCheckingMemory] = None,
         cycles: int = 256,
-        seed: int = 7,
+        seed: int = DEFAULT_EMPIRICAL_SEED,
         engine: str = "packed",
         workers: Optional[int] = None,
     ) -> EmpiricalReport:
@@ -207,7 +212,7 @@ class DesignEngine:
         plan: Optional[MemoryCodePlan] = None,
         empirical: bool = False,
         empirical_cycles: int = 256,
-        empirical_seed: int = 7,
+        empirical_seed: int = DEFAULT_EMPIRICAL_SEED,
         engine: str = "packed",
         workers: Optional[int] = None,
     ) -> DesignReport:
@@ -226,8 +231,12 @@ class DesignEngine:
         """
         report_key = None
         if self.store is not None and plan is None:
-            report_key = self._report_key(
-                spec, empirical, empirical_cycles, empirical_seed, engine
+            report_key = self.report_key(
+                spec,
+                empirical=empirical,
+                empirical_cycles=empirical_cycles,
+                empirical_seed=empirical_seed,
+                engine=engine,
             )
             if self.cache:
                 cached = self.store.get_report(report_key)
@@ -285,17 +294,19 @@ class DesignEngine:
             self.store.put_report(report_key, report.to_dict())
         return report
 
-    def _report_key(
+    def report_key(
         self,
         spec: DesignSpec,
-        empirical: bool,
-        empirical_cycles: int,
-        empirical_seed: int,
-        engine: str,
+        empirical: bool = False,
+        empirical_cycles: int = 256,
+        empirical_seed: int = DEFAULT_EMPIRICAL_SEED,
+        engine: str = "packed",
     ) -> str:
         """Content address of one evaluation: the spec, the evaluation
         policy and the engine's analytic context (area models, safety
-        parameters) — everything a report's numbers depend on."""
+        parameters) — everything a report's numbers depend on.  The
+        defaults mirror :meth:`evaluate`, so callers that key an
+        evaluation they ran with defaults get the same address."""
         from repro.results import campaign_key
 
         return campaign_key(

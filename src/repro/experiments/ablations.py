@@ -30,7 +30,6 @@ from repro.codes.m_out_of_n import MOutOfNCode
 from repro.codes.unordered import and_of_distinct_words_is_noncode
 from repro.core.mapping import (
     AddressMapping,
-    ModAMapping,
     TruncatedBergerMapping,
     mapping_for_code,
 )

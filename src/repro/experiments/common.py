@@ -3,7 +3,7 @@ numbers (for side-by-side printing) and small formatting helpers."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.memory.organization import PAPER_ORGS

@@ -17,7 +17,6 @@ from typing import List, Optional, Tuple
 from repro.area.stdcell import StdCellAreaModel
 from repro.core.selection import (
     SelectionPolicy,
-    evaluate_code,
     select_code,
 )
 from repro.experiments.common import (

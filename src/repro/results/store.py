@@ -440,15 +440,54 @@ class ResultStore:
     # -- design-report side table --------------------------------------------
 
     def put_report(self, key: str, report_dict: dict) -> str:
+        """Store a report dict, content-hashed like the campaign
+        payloads (atomic replace; counted in :attr:`stats`)."""
         os.makedirs(os.path.join(self.root, "reports"), exist_ok=True)
-        with open(self._report_path(key), "w") as handle:
-            json.dump(report_dict, handle, sort_keys=True)
+        path = self._report_path(key)
+        envelope = {
+            "format": 1,
+            "sha256": content_digest(canonical_json(report_dict)),
+            "report": report_dict,
+        }
+        tmp_path = f"{path}.{os.getpid()}.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(envelope, handle, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp_path, path)
+        self.stats.puts += 1
         return key
 
-    def get_report(self, key: str) -> Optional[dict]:
+    def get_report(self, key: str, verify: bool = True) -> Optional[dict]:
+        """The stored report dict, hash-verified; ``None`` on a miss.
+
+        Report hits count in :attr:`stats` exactly like campaign hits,
+        so a resumed design sweep is observable as requests == hits.
+        Pre-1.5 entries (raw dicts without the hash envelope) are still
+        served, as unverified hits.
+        """
+        self.stats.requests += 1
         path = self._report_path(key)
         if not os.path.exists(path):
+            self.stats.misses += 1
             return None
-        with open(path) as handle:
-            return json.load(handle)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(data, dict) or "report" not in data:
+            self.stats.hits += 1
+            return data
+        report = data["report"]
+        if verify:
+            digest = content_digest(canonical_json(report))
+            if digest != data.get("sha256"):
+                raise ResultStoreError(
+                    f"report entry {key[:12]}… failed hash verification "
+                    f"(expected {data.get('sha256')!r:.20}, got "
+                    f"{digest!r:.20})"
+                )
+            self.stats.verified += 1
+        self.stats.hits += 1
+        return report

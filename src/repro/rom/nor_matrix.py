@@ -77,7 +77,7 @@ class NORMatrix:
                 f"expected {self.num_lines} word lines, got {len(line_vector)}"
             )
         return tuple(
-            0 if any(line_vector[l] for l in members) else 1
+            0 if any(line_vector[line] for line in members) else 1
             for members in self._nor_members
         )
 
@@ -113,7 +113,7 @@ class NORMatrix:
             if members:
                 net = circuit.add_gate(
                     GateType.NOR,
-                    [line_nets[l] for l in members],
+                    [line_nets[line] for line in members],
                     name=f"{name}_b{b}",
                 )
             else:

@@ -752,7 +752,7 @@ class CampaignEngine:
         cursor = 0
         for index in range(shard_count):
             size = base + (1 if index < remainder else 0)
-            shards.append(scenarios[cursor:cursor + size])
+            shards.append(scenarios[cursor : cursor + size])
             cursor += size
         parts: List[CampaignResult] = []
         shard_keys: List[str] = []

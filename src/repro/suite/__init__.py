@@ -1,0 +1,60 @@
+"""`repro.suite` — the declarative campaign-suite orchestrator (1.5).
+
+The batch layer over the campaign engine and the artifact store:
+
+* :class:`SuiteSpec` — a JSON-round-trippable matrix of targets x
+  workloads x scenario populations x engine policies, expanded into
+  concrete :class:`CampaignCell`\\ s;
+* :class:`SuiteRunner` — schedules cells over a bounded process pool
+  with per-cell store lookup first (a hit skips the simulator),
+  streaming progress callbacks and fail-soft error capture;
+* :class:`SuiteReport` — per-cell outcomes + aggregate coverage /
+  latency statistics and hit/miss/error counters, with the
+  re-run-invariant payload under ``to_dict(stable_only=True)``;
+* built-ins — :func:`builtin_suite`\\ (``"paper_grid"``) reproduces the
+  paper's full result grid in one resumable invocation.
+
+Quick path::
+
+    from repro.suite import SuiteRunner, builtin_suite
+
+    report = SuiteRunner(store=".repro-store").run(
+        builtin_suite("paper_grid")
+    )
+    print(report.render())      # second run: all verified store hits
+
+CLI: ``repro suite run|ls|show``.
+"""
+
+from repro.suite.builtin import (
+    BUILTIN_SUITES,
+    builtin_names,
+    builtin_suite,
+    load_suite,
+)
+from repro.suite.populations import POPULATIONS, build_population
+from repro.suite.report import CellOutcome, SuiteReport
+from repro.suite.runner import SuiteRunner, execute_cell
+from repro.suite.spec import (
+    FAMILIES,
+    CampaignCell,
+    MatrixBlock,
+    SuiteSpec,
+)
+
+__all__ = [
+    "FAMILIES",
+    "CampaignCell",
+    "MatrixBlock",
+    "SuiteSpec",
+    "POPULATIONS",
+    "build_population",
+    "SuiteRunner",
+    "execute_cell",
+    "CellOutcome",
+    "SuiteReport",
+    "BUILTIN_SUITES",
+    "builtin_names",
+    "builtin_suite",
+    "load_suite",
+]

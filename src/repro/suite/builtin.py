@@ -1,0 +1,217 @@
+"""Built-in suites, most importantly ``paper_grid`` — the paper's full
+result grid as one declarative, resumable invocation.
+
+``paper_grid`` covers:
+
+* **Table 1** — Pndc = 1e-9, c swept over {2, 5, 10, 20, 30, 40}, on
+  all three paper RAMs (analytic design reports);
+* **Table 2** — c = 10, Pndc swept down to 1e-30, same organisations
+  (the (10, 1e-9) row is Table 1's c=10 column and is not duplicated);
+* **decoder campaigns** — the empirical counterpart: exhaustive
+  row-decoder stuck-at injection on each paper organisation's built
+  scheme under uniform traffic;
+* **transient campaigns** — the X6 upset population across the
+  workload families (uniform / sequential / bursty / two scrub rates)
+  plus the double-upset parity escape;
+* **march campaigns** — the X7 fault classes under all four classical
+  march algorithms.
+
+``smoke`` is a seconds-scale miniature of the same shape, used by the
+example, the bench and the tests.
+
+Suites are plain :class:`~repro.suite.spec.SuiteSpec` values —
+``repro suite show paper_grid`` prints the expanded matrix, and
+``SuiteSpec.to_json()`` of a built-in is a valid starting point for a
+custom spec file.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.design.registry import Registry
+from repro.suite.spec import MatrixBlock, SuiteSpec
+
+__all__ = ["BUILTIN_SUITES", "builtin_names", "builtin_suite", "load_suite"]
+
+BUILTIN_SUITES = Registry("suite")
+
+
+def builtin_names() -> List[str]:
+    return BUILTIN_SUITES.names()
+
+
+def builtin_suite(name: str) -> SuiteSpec:
+    """A built-in suite by name (``ValueError`` with the known names on
+    a miss, so the CLI prints a one-line diagnostic)."""
+    if name not in BUILTIN_SUITES:
+        raise ValueError(
+            f"unknown suite {name!r}; built-ins: {builtin_names()} "
+            f"(or pass a spec-file path)"
+        )
+    return BUILTIN_SUITES.get(name)()
+
+
+def load_suite(name_or_path: str) -> SuiteSpec:
+    """Resolve the CLI's suite argument: a spec-file path if one exists
+    at that location, else a built-in name."""
+    import os
+
+    if os.path.isfile(name_or_path):
+        with open(name_or_path) as handle:
+            text = handle.read()
+        try:
+            return SuiteSpec.from_json(text)
+        except ValueError as exc:
+            raise ValueError(f"{name_or_path}: {exc}") from None
+    return builtin_suite(name_or_path)
+
+
+def _spec_dicts(requirements, **common) -> List[dict]:
+    from repro.design.spec import DesignSpec
+    from repro.memory.organization import PAPER_ORGS
+
+    return [
+        DesignSpec.for_organization(
+            org, c=c, pndc=pndc, **common
+        ).to_dict()
+        for org in PAPER_ORGS
+        for c, pndc in requirements
+    ]
+
+
+@BUILTIN_SUITES.register("paper_grid")
+def _paper_grid() -> SuiteSpec:
+    from repro.scenarios import Workload
+
+    table1 = MatrixBlock(
+        family="design",
+        label="table1",
+        targets=tuple(
+            _spec_dicts([(c, 1e-9) for c in (2, 5, 10, 20, 30, 40)])
+        ),
+    )
+    # Table 2's (c=10, 1e-9) row is already covered by Table 1's c=10
+    # column — the same content address — so it is not repeated here:
+    # a cold run stays a clean all-miss run
+    table2 = MatrixBlock(
+        family="design",
+        label="table2",
+        targets=tuple(
+            _spec_dicts(
+                [
+                    (10, pndc)
+                    for pndc in (1e-2, 1e-5, 1e-15, 1e-20, 1e-30)
+                ]
+            )
+        ),
+    )
+    decoder = MatrixBlock(
+        family="decoder",
+        label="decoder",
+        targets=tuple(_spec_dicts([(10, 1e-9)])),
+        workloads=({"family": "uniform", "cycles": 192, "seed": 7},),
+        scenarios={"population": "decoder-stuck-ats"},
+    )
+    transient_words, transient_cycles, seed = 256, 2048, 5
+    transient = MatrixBlock(
+        family="transient",
+        label="transient",
+        targets=({"words": transient_words, "bits": 8, "column_mux": 8},),
+        workloads=(
+            {"family": "uniform", "cycles": transient_cycles, "seed": seed},
+            {
+                "family": "sequential",
+                "cycles": transient_cycles,
+                "seed": seed,
+            },
+            {"family": "bursty", "cycles": transient_cycles, "seed": seed},
+            Workload.scrubbed(
+                transient_words, transient_cycles, scrub_period=8, seed=seed
+            ).to_dict(),
+            Workload.scrubbed(
+                transient_words, transient_cycles, scrub_period=2, seed=seed
+            ).to_dict(),
+        ),
+        scenarios={"population": "upset-stride", "stride": 5, "cycle": 16},
+    )
+    escape = MatrixBlock(
+        family="transient",
+        label="escape",
+        targets=({"words": transient_words, "bits": 8, "column_mux": 8},),
+        workloads=(
+            {"family": "uniform", "cycles": transient_cycles, "seed": seed},
+        ),
+        scenarios={"population": "double-upset"},
+    )
+    march = MatrixBlock(
+        family="march",
+        label="march",
+        targets=({"words": 64, "bits": 8, "column_mux": 4},),
+        workloads=(
+            {"test": "MATS+"},
+            {"test": "March X"},
+            {"test": "March Y"},
+            {"test": "March C-"},
+        ),
+        scenarios={"population": "march-classes"},
+    )
+    return SuiteSpec(
+        name="paper_grid",
+        description=(
+            "Table 1 + Table 2 design sweep, empirical decoder "
+            "campaigns, transient workload grid and march coverage "
+            "matrix — the paper's full result grid in one run"
+        ),
+        blocks=(table1, table2, decoder, transient, escape, march),
+    )
+
+
+@BUILTIN_SUITES.register("smoke")
+def _smoke() -> SuiteSpec:
+    """A seconds-scale miniature exercising every family (example,
+    bench and CI material)."""
+    design = MatrixBlock(
+        family="design",
+        label="design",
+        targets=(
+            {"words": 256, "bits": 8, "c": 10, "pndc": 1e-9},
+            {"words": 256, "bits": 8, "c": 2, "pndc": 1e-9},
+        ),
+    )
+    decoder = MatrixBlock(
+        family="decoder",
+        label="decoder",
+        targets=({"words": 256, "bits": 8, "c": 10, "pndc": 1e-9},),
+        workloads=({"family": "uniform", "cycles": 96, "seed": 3},),
+        scenarios={"population": "decoder-stuck-ats"},
+    )
+    scheme = MatrixBlock(
+        family="scheme",
+        label="scheme",
+        targets=({"words": 64, "bits": 8, "column_mux": 4, "c": 10},),
+        workloads=({"family": "uniform", "cycles": 96, "seed": 3},),
+        scenarios={"population": "memory-stuck-ats"},
+    )
+    transient = MatrixBlock(
+        family="transient",
+        label="transient",
+        targets=({"words": 32, "bits": 8, "column_mux": 4},),
+        workloads=(
+            {"family": "uniform", "cycles": 256, "seed": 1},
+            {"family": "scrubbed", "cycles": 256, "seed": 1},
+        ),
+        scenarios={"population": "upset-stride", "stride": 4, "cycle": 8},
+    )
+    march = MatrixBlock(
+        family="march",
+        label="march",
+        targets=({"words": 32, "bits": 8, "column_mux": 4},),
+        workloads=({"test": "MATS+"}, {"test": "March C-"}),
+        scenarios={"population": "march-classes"},
+    )
+    return SuiteSpec(
+        name="smoke",
+        description="fast end-to-end suite across every campaign family",
+        blocks=(design, decoder, scheme, transient, march),
+    )

@@ -1,0 +1,159 @@
+"""Named scenario-population builders for suite cells.
+
+A cell's ``scenarios`` entry names a builder registered here plus its
+JSON parameters; the runner resolves the name against the *built*
+target, so populations stay declarative ("every decoder stuck-at",
+"one upset every STRIDE words") while the concrete fault lists are
+derived from the target's real geometry at run time.
+
+Plug in new populations the same way the design registries work::
+
+    from repro.suite.populations import POPULATIONS
+
+    @POPULATIONS.register("my-upsets")
+    def _my_upsets(target, params):
+        return [TransientScenario.single(0, bit=0, cycle=5)]
+
+Builders take ``(target, params)`` — the built campaign target (a
+checked decoder, a behavioural RAM, a self-checking memory) and the
+cell's parameter dict — and return the scenario list the matching
+:class:`~repro.scenarios.CampaignEngine` method consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.design.registry import Registry
+
+__all__ = ["POPULATIONS", "build_population", "check_population"]
+
+POPULATIONS = Registry("scenario population")
+
+
+def check_population(name: str) -> None:
+    """Validate a population name at spec-load time (raises
+    ``ValueError`` so malformed specs fail with a one-line
+    diagnostic)."""
+    if name not in POPULATIONS:
+        raise ValueError(
+            f"unknown scenario population {name!r}; "
+            f"known: {POPULATIONS.names()}"
+        )
+
+
+def build_population(name: str, target, params: dict) -> List:
+    check_population(name)
+    return POPULATIONS.get(name)(target, params)
+
+
+@POPULATIONS.register("decoder-stuck-ats")
+def _decoder_stuck_ats(target, params: dict) -> List:
+    """Exhaustive stuck-at list of a checked decoder (tree + ROM)."""
+    from repro.faultsim.injector import decoder_fault_list
+
+    return decoder_fault_list(target)
+
+
+@POPULATIONS.register("upset-stride")
+def _upset_stride(target, params: dict) -> List:
+    """One single-event upset every ``stride`` words of a RAM, striking
+    at ``cycle`` (the X6 population, geometry-derived)."""
+    from repro.scenarios import TransientScenario
+
+    stride = int(params.get("stride", 5))
+    cycle = int(params.get("cycle", 16))
+    words = target.organization.words
+    stored_bits = target.word_width
+    return [
+        TransientScenario.single(
+            address, bit=address % stored_bits, cycle=cycle
+        )
+        for address in range(0, words, stride)
+    ]
+
+
+@POPULATIONS.register("double-upset")
+def _double_upset(target, params: dict) -> List:
+    """Two flips in one word at the same cycle — the single-parity-bit
+    escape (error observed, never detected)."""
+    from repro.faultsim.transient import TransientUpset
+    from repro.scenarios import TransientScenario
+
+    address = int(params.get("address", 7))
+    cycle = int(params.get("cycle", 16))
+    bits = params.get("bits", (1, 4))
+    return [
+        TransientScenario(
+            upsets=tuple(
+                TransientUpset(address=address, bit=int(bit), cycle=cycle)
+                for bit in bits
+            )
+        )
+    ]
+
+
+@POPULATIONS.register("march-classes")
+def _march_classes(target, params: dict) -> List:
+    """The X7 behavioural fault-class population, derived from the
+    RAM's geometry: cell / data-line / mux-way stuck-ats plus coupling
+    faults in both the read-state and write-triggered (CFid) models."""
+    from repro.memory.faults import (
+        CellStuckAt,
+        CouplingFault,
+        DataLineStuckAt,
+        MuxLineStuckAt,
+    )
+    from repro.scenarios import MemoryScenario
+
+    organization = target.organization
+    words = organization.words
+    bits = organization.bits
+    mid = min(13, words - 1)
+    faults = [
+        CellStuckAt(address, bit, value)
+        for address in (0, mid, words - 1)
+        for bit in (0, bits - 1)
+        for value in (0, 1)
+    ]
+    faults += [
+        DataLineStuckAt(bit, value)
+        for bit in (1, bits - 2)
+        for value in (0, 1)
+    ]
+    faults += [
+        MuxLineStuckAt(column, 2 % bits, value)
+        for column in (0, organization.column_mux - 1)
+        for value in (0, 1)
+    ]
+    aggressor, victim = 3 % words, 9 % words
+    faults += [
+        CouplingFault(aggressor, 0, victim, 0),
+        CouplingFault(aggressor, 0, victim, 0, write_triggered=True),
+        CouplingFault(
+            victim, 1, aggressor, 1,
+            trigger=0, forced=0, write_triggered=True,
+        ),
+    ]
+    return [MemoryScenario(faults=(fault,)) for fault in faults]
+
+
+@POPULATIONS.register("memory-stuck-ats")
+def _memory_stuck_ats(target, params: dict) -> List:
+    """A small behavioural stuck-at population for scheme cells."""
+    from repro.memory.faults import CellStuckAt, DataLineStuckAt
+    from repro.scenarios import MemoryScenario
+
+    organization = target.organization
+    words = organization.words
+    bits = organization.bits
+    scenarios = [
+        MemoryScenario(faults=(CellStuckAt(address % words, bit, value),))
+        for address, bit, value in (
+            (5, 1, 1), (words - 1, 0, 0), (words // 2, bits - 1, 1)
+        )
+    ]
+    scenarios.append(
+        MemoryScenario(faults=(DataLineStuckAt(bits // 2, 1),))
+    )
+    return scenarios

@@ -1,0 +1,257 @@
+"""`SuiteReport` — the aggregate outcome of one suite run.
+
+The report separates what a suite *produced* (per-cell result
+summaries, provenance, store keys — identical between a cold run and a
+resumed run) from how the run *executed* (hit/miss/error status,
+store counters, wall times).  Everything execution-dependent lives
+under ``"execution"`` keys, at the cell level and at the top level, so
+
+    SuiteReport.to_dict(stable_only=True)
+
+is the re-run-invariant payload: running the same suite twice against
+one store yields byte-identical stable dicts while the execution blocks
+flip from misses to verified hits.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CellOutcome", "SuiteReport"]
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result + how it was obtained.
+
+    ``status`` is ``"hit"`` (served from the store, simulator never
+    invoked), ``"ran"`` (computed fresh) or ``"error"`` (fail-soft
+    capture; ``error`` holds the one-line diagnostic).
+    """
+
+    cell_id: str
+    family: str
+    status: str
+    store_key: Optional[str] = None
+    #: the hit was hash-verified against the stored digest
+    verified: bool = False
+    #: ``result.summary()`` for campaign cells; code/area/escape for
+    #: design cells
+    summary: Optional[dict] = None
+    provenance: Optional[dict] = None
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    #: per-cell store counter deltas (requests/hits/misses/puts/verified)
+    store: Optional[Dict[str, int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "error"
+
+    def to_dict(self, stable_only: bool = False) -> dict:
+        stable = {
+            "cell": self.cell_id,
+            "family": self.family,
+            "store_key": self.store_key,
+            "summary": self.summary,
+            "provenance": self.provenance,
+            "error": self.error,
+        }
+        if stable_only:
+            return stable
+        stable["execution"] = {
+            "status": self.status,
+            "verified": self.verified,
+            "wall_time_s": self.wall_time_s,
+            "store": self.store,
+        }
+        return stable
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellOutcome":
+        execution = data.get("execution") or {}
+        return cls(
+            cell_id=data["cell"],
+            family=data["family"],
+            status=execution.get("status", "ran"),
+            store_key=data.get("store_key"),
+            verified=bool(execution.get("verified", False)),
+            summary=data.get("summary"),
+            provenance=data.get("provenance"),
+            error=data.get("error"),
+            wall_time_s=float(execution.get("wall_time_s", 0.0)),
+            store=execution.get("store"),
+        )
+
+
+@dataclass
+class SuiteReport:
+    """Every cell's outcome plus suite-level aggregation."""
+
+    suite: str
+    cells: List[CellOutcome] = field(default_factory=list)
+    store_root: Optional[str] = None
+    wall_time_s: float = 0.0
+
+    # -- counters ------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.status == "hit")
+
+    @property
+    def simulated(self) -> int:
+        """Cells that actually computed (the resume assertion: a fully
+        resumed suite has ``simulated == 0``)."""
+        return sum(1 for cell in self.cells if cell.status == "ran")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for cell in self.cells if cell.status == "error")
+
+    @property
+    def verified_hits(self) -> int:
+        return sum(
+            1 for cell in self.cells
+            if cell.status == "hit" and cell.verified
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def totals(self) -> dict:
+        """Coverage / latency statistics over every campaign cell's
+        summary, overall and per family."""
+        overall = {"faults": 0, "detected": 0}
+        by_family: Dict[str, Dict[str, int]] = {}
+        worst: Optional[int] = None
+        latency_sum = 0.0
+        latency_cells = 0
+        for cell in self.cells:
+            summary = cell.summary or {}
+            if "faults" not in summary:
+                continue
+            bucket = by_family.setdefault(
+                cell.family, {"faults": 0, "detected": 0}
+            )
+            for scope in (overall, bucket):
+                scope["faults"] += summary.get("faults", 0)
+                scope["detected"] += summary.get("detected", 0)
+            mean = summary.get("mean_detection_cycle")
+            if mean is not None:
+                latency_sum += mean
+                latency_cells += 1
+            peak = summary.get("max_detection_cycle")
+            if peak is not None:
+                worst = peak if worst is None else max(worst, peak)
+        for scope in [overall] + list(by_family.values()):
+            faults = scope["faults"]
+            scope["coverage"] = (
+                round(scope["detected"] / faults, 6) if faults else None
+            )
+        overall["mean_detection_cycle"] = (
+            round(latency_sum / latency_cells, 4) if latency_cells else None
+        )
+        overall["max_detection_cycle"] = worst
+        overall["by_family"] = by_family
+        return overall
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self, stable_only: bool = False) -> dict:
+        """The full payload; ``stable_only=True`` drops every
+        execution/timing field (see module docstring)."""
+        data = {
+            "suite": self.suite,
+            "cells": [
+                cell.to_dict(stable_only=stable_only)
+                for cell in self.cells
+            ],
+            "totals": self.totals(),
+        }
+        if not stable_only:
+            data["execution"] = {
+                "cells": len(self.cells),
+                "hits": self.hits,
+                "simulated": self.simulated,
+                "errors": self.errors,
+                "verified_hits": self.verified_hits,
+                "store_root": self.store_root,
+                "wall_time_s": self.wall_time_s,
+            }
+        return data
+
+    def to_json(
+        self, indent: Optional[int] = 2, stable_only: bool = False
+    ) -> str:
+        return json.dumps(
+            self.to_dict(stable_only=stable_only), indent=indent
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuiteReport":
+        execution = data.get("execution") or {}
+        return cls(
+            suite=data.get("suite", ""),
+            cells=[
+                CellOutcome.from_dict(cell)
+                for cell in data.get("cells", ())
+            ],
+            store_root=execution.get("store_root"),
+            wall_time_s=float(execution.get("wall_time_s", 0.0)),
+        )
+
+    def render(self) -> str:
+        from repro.experiments.common import format_table
+
+        totals = self.totals()
+        out = io.StringIO()
+        out.write(
+            f"suite {self.suite} — {len(self.cells)} cells: "
+            f"{self.hits} store hit(s) "
+            f"({self.verified_hits} verified), "
+            f"{self.simulated} simulated, {self.errors} error(s) "
+            f"in {self.wall_time_s:.2f}s\n"
+        )
+        if self.store_root:
+            out.write(f"store: {self.store_root}\n")
+        rows = []
+        for cell in self.cells:
+            summary = cell.summary or {}
+            if cell.status == "error":
+                detail = cell.error or "?"
+            elif "faults" in summary:
+                coverage = summary.get("coverage")
+                detail = (
+                    f"{summary.get('detected')}/{summary.get('faults')} "
+                    f"detected"
+                    + (f" ({coverage})" if coverage is not None else "")
+                )
+            else:
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in summary.items()
+                    if not isinstance(value, dict)
+                )
+            rows.append(
+                [
+                    cell.cell_id,
+                    cell.status + ("*" if cell.verified else ""),
+                    (cell.store_key or "")[:12],
+                    f"{cell.wall_time_s * 1e3:.0f}ms",
+                    detail,
+                ]
+            )
+        out.write(format_table(
+            ["cell", "status", "key", "time", "result"], rows
+        ))
+        coverage = totals.get("coverage")
+        out.write(
+            f"\ntotals: {totals['detected']}/{totals['faults']} detected"
+            + (f" (coverage {coverage})" if coverage is not None else "")
+            + "\n(status 'hit*' = hash-verified store hit, simulator "
+            "never invoked)\n"
+        )
+        return out.getvalue()

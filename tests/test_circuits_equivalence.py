@@ -78,8 +78,10 @@ class TestCollapseStructure:
         from repro.circuits.faults import NetStuckAt
 
         c = and_gate()
-        subset = [NetStuckAt(c.gates[0].output, 0),
-                  NetStuckAt(c.input_nets[0], 0)]
+        subset = [
+            NetStuckAt(c.gates[0].output, 0),
+            NetStuckAt(c.input_nets[0], 0),
+        ]
         classes = collapse_faults(c, subset)
         # both belong to the big sa0 class -> one class
         assert classes.num_classes == 1

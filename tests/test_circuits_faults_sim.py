@@ -1,4 +1,3 @@
-import pytest
 
 from repro.circuits.builders import xor_tree
 from repro.circuits.faults import (

@@ -1,7 +1,6 @@
 import pytest
 
 from repro.codes.berger import BergerCode, berger_check_width
-from repro.codes.unordered import is_unordered_code
 from repro.utils.bitops import all_bit_vectors, bits_to_int
 
 

@@ -1,6 +1,5 @@
 """Tests for deterministic latency bounds and per-decoder code plans."""
 
-import pytest
 
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.deterministic import (

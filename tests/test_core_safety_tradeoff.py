@@ -6,7 +6,7 @@ from repro.core.safety import (
     undetectable_rate_with_coverage,
 )
 from repro.core.tradeoff import TradeoffExplorer
-from repro.memory.organization import MemoryOrganization, paper_org
+from repro.memory.organization import paper_org
 
 
 class TestSafetyArithmetic:

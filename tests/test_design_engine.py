@@ -63,15 +63,17 @@ class TestBuild:
         assert memory.selection.code_name == "2-out-of-4"
 
     def test_flat_decoder_style(self, engine):
-        spec = DesignSpec(words=64, bits=8, column_mux=4,
-                          decoder_style="flat")
+        spec = DesignSpec(
+            words=64, bits=8, column_mux=4, decoder_style="flat"
+        )
         memory = engine.build(spec)
         memory.write(3, (1,) * 8)
         assert memory.read(3).data == (1,) * 8
 
     def test_structural_checkers(self, engine):
-        spec = DesignSpec(words=64, bits=8, column_mux=4,
-                          checker_style="structural")
+        spec = DesignSpec(
+            words=64, bits=8, column_mux=4, checker_style="structural"
+        )
         memory = engine.build(spec)
         assert not memory.read(0).error_detected
 

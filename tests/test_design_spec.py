@@ -44,8 +44,9 @@ class TestValidation:
             DesignSpec(**kwargs)
 
     def test_structural_checkers_flag(self):
-        assert not DesignSpec(words=64, bits=8,
-                              column_mux=4).structural_checkers
+        assert not DesignSpec(
+            words=64, bits=8, column_mux=4
+        ).structural_checkers
         assert DesignSpec(
             words=64, bits=8, column_mux=4, checker_style="structural"
         ).structural_checkers

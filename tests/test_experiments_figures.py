@@ -37,9 +37,11 @@ class TestAsciiPlot:
         text = ascii_plot(
             {"s": [(0, 0), (1, 1)]}, width=30, height=8
         )
-        plot_rows = [l for l in text.splitlines() if l.startswith("|")]
+        plot_rows = [
+            row for row in text.splitlines() if row.startswith("|")
+        ]
         assert len(plot_rows) == 8
-        assert all(len(l) == 31 for l in plot_rows)
+        assert all(len(row) == 31 for row in plot_rows)
 
 
 class TestFigures:

@@ -54,8 +54,13 @@ def _uniform_addresses(n_bits, cycles, seed=0):
 
 def record_key(result):
     return [
-        (str(r.fault), r.kind, r.first_detection, r.first_error,
-         r.analytic_escape)
+        (
+            str(r.fault),
+            r.kind,
+            r.first_detection,
+            r.first_error,
+            r.analytic_escape,
+        )
         for r in result.records
     ]
 

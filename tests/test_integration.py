@@ -1,6 +1,5 @@
 """Cross-module integration tests: the full paper flow, end to end."""
 
-import pytest
 
 from repro import (
     MemoryOrganization,

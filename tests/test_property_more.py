@@ -4,14 +4,14 @@ import itertools
 
 import pytest
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits.equivalence import collapse_faults
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
 from repro.codes.m_out_of_n import MOutOfNCode
-from repro.codes.unordered import bitwise_and, is_unordered_code
+from repro.codes.unordered import bitwise_and
 from repro.core.deterministic import worst_case_latency_for_site
 from repro.core.mapping import ModAMapping
 from repro.memory.march import (

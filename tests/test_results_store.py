@@ -11,7 +11,6 @@ import json
 
 import pytest
 
-from repro.faultsim.results import CampaignResult, FaultRecord
 from repro.memory.faults import CellStuckAt
 from repro.memory.march import MATS_PLUS
 from repro.memory.organization import MemoryOrganization
@@ -34,7 +33,6 @@ from repro.scenarios import (
 
 from test_results_api import (
     CAMPAIGNS,
-    run_scheme_campaign,
     run_transient_campaign,
 )
 

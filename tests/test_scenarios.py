@@ -683,8 +683,9 @@ class TestMarchEngines:
             CouplingFault(3, 0, 9, 0, trigger=0, forced=0),
             CouplingFault(3, 0, 9, 0, write_triggered=True),
             CouplingFault(9, 0, 3, 0, write_triggered=True),
-            CouplingFault(9, 1, 3, 1, trigger=0, forced=0,
-                          write_triggered=True),
+            CouplingFault(
+                9, 1, 3, 1, trigger=0, forced=0, write_triggered=True
+            ),
             _WeirdFault(),
             CompositeFault([CellStuckAt(2, 1, 1), DataLineStuckAt(0, 1)]),
         ]
