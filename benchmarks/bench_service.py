@@ -1,0 +1,123 @@
+"""Campaign service benchmark: submit->done over HTTP -> BENCH_service.json.
+
+Times the built-in ``paper_grid`` suite submitted twice through a real
+``ServiceClient`` against one in-thread server and one store — the cold
+job simulates every cell, the resumed job must be served entirely as
+verified store hits — and records both wall times, the resume speedup
+and the pure request-path overhead (a health round trip).  Like
+``bench_suite.py`` the payload is written once per run and appended to
+a persistent history trajectory, so the traffic layer's overhead is
+tracked commit over commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--out PATH]
+        [--suite NAME] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro import __version__
+from repro.service import CampaignService, ServiceClient, serving
+
+
+def _timed_job(client: ServiceClient, suite: str) -> tuple:
+    start = time.perf_counter()
+    job = client.submit(suite)
+    job = client.wait(job["job_id"], timeout=600)
+    return job, time.perf_counter() - start
+
+
+def bench_service(name: str, workers: int) -> dict:
+    with tempfile.TemporaryDirectory() as root:
+        with CampaignService(store=root, workers=workers) as service:
+            with serving(service) as url:
+                client = ServiceClient(url)
+                start = time.perf_counter()
+                for _ in range(20):
+                    client.health()
+                health_ms = (time.perf_counter() - start) / 20 * 1e3
+                cold_job, cold_s = _timed_job(client, name)
+                resumed_job, resumed_s = _timed_job(client, name)
+    cold = cold_job["report"]["execution"]
+    resumed = resumed_job["report"]["execution"]
+    ok = (
+        cold_job["state"] == resumed_job["state"] == "done"
+        and cold["errors"] == resumed["errors"] == 0
+        and resumed["simulated"] == 0
+        and resumed["verified_hits"] == resumed["cells"]
+        and cold_job["result_keys"] == resumed_job["result_keys"]
+    )
+    return {
+        "name": f"service_{name}",
+        "cells": cold["cells"],
+        "workers": workers,
+        "health_round_trip_ms": round(health_ms, 3),
+        "cold_s": round(cold_s, 4),
+        "resumed_s": round(resumed_s, 4),
+        "resume_speedup": round(cold_s / resumed_s, 1),
+        "resumed_all_verified_hits": ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--history", default="BENCH_service.history.jsonl",
+        metavar="PATH",
+        help="persistent trajectory: every run appends one JSON line "
+        "('' disables)",
+    )
+    parser.add_argument("--suite", default="paper_grid")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    benches = [bench_service(args.suite, workers=args.workers)]
+    payload = {
+        "bench": "campaign_service",
+        "version": __version__,
+        "benches": benches,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    if args.history:
+        entry = dict(payload, timestamp=round(time.time(), 1))
+        with open(args.history, "a") as handle:
+            json.dump(
+                entry, handle, sort_keys=True, separators=(",", ":")
+            )
+            handle.write("\n")
+
+    for bench in benches:
+        flag = "ok " if bench["resumed_all_verified_hits"] else "MISMATCH"
+        print(
+            f"{bench['name']}  {bench['cells']:>3} cells  "
+            f"health {bench['health_round_trip_ms']:6.2f} ms  "
+            f"cold {bench['cold_s'] * 1e3:8.1f} ms  "
+            f"resumed {bench['resumed_s'] * 1e3:7.1f} ms  "
+            f"x{bench['resume_speedup']:<6g} [{flag}]"
+        )
+    print(f"wrote {args.out}")
+    if args.history:
+        print(f"appended to {args.history}")
+
+    if not all(b["resumed_all_verified_hits"] for b in benches):
+        print(
+            "FAIL: the resumed service job was not served entirely "
+            "from verified store hits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,10 @@ Layer map
                    matrices, a pooled SuiteRunner with store-backed
                    resume, SuiteReport aggregation, the built-in
                    paper_grid suite
+``repro.service``  the traffic layer: an HTTP/JSON job service over
+                   the suite runner and the shared store — persistent
+                   JobQueue, CampaignService worker pool, stdlib
+                   server + ServiceClient (``repro serve``)
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
 
@@ -79,6 +83,19 @@ Suite quick path (1.5+)::
     )
     # re-running resumes: every completed cell is a verified store hit
     # (CLI: `repro suite run paper_grid --store .repro-store`)
+
+Service quick path (1.6+)::
+
+    from repro import CampaignService, ServiceClient
+    from repro.service import serving
+
+    with CampaignService(store=".repro-store", workers=2) as service:
+        with serving(service) as url:        # or: repro serve
+            client = ServiceClient(url)
+            job = client.submit("paper_grid")
+            job = client.wait(job["job_id"])
+            # a re-submitted identical suite completes as verified
+            # store hits — the simulator is never invoked
 """
 
 from repro.area.model import PaperAreaModel
@@ -124,8 +141,9 @@ from repro.scenarios import (
     TransientScenario,
     Workload,
 )
+from repro.service import CampaignService, ServiceClient
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -133,6 +151,8 @@ __all__ = [
     "DesignEngine",
     "DesignReport",
     "CampaignEngine",
+    "CampaignService",
+    "ServiceClient",
     "Workload",
     "ResultSet",
     "ResultStore",

@@ -387,6 +387,245 @@ def _cmd_results_export(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- store lifecycle: `repro store stats|verify` -----------------------------
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    usage = store.usage()
+    if args.json:
+        _emit(args, json.dumps(usage, indent=2))
+        return 0
+    lines = [f"result store {usage['root']}"]
+    for name in ("campaigns", "shards", "reports"):
+        lines.append(f"    {name:<14}: {usage[name]}")
+    for name in ("payload_bytes", "report_bytes", "total_bytes"):
+        lines.append(
+            f"    {name:<14}: {usage[name]} "
+            f"({usage[name] / 1024:.1f}K)"
+        )
+    _emit(args, "\n".join(lines))
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    outcome = store.verify_all()
+    if args.json:
+        _emit(args, json.dumps(outcome, indent=2))
+    else:
+        lines = [
+            f"verified {outcome['checked']} artifact(s) in "
+            f"{outcome['root']}: {outcome['entries']} campaign/shard "
+            f"payload(s), {outcome['reports']} report(s)"
+        ]
+        for failure in outcome["failures"]:
+            lines.append(f"    FAIL {failure}")
+        lines.append(
+            "store ok" if outcome["ok"]
+            else f"{len(outcome['failures'])} artifact(s) failed "
+            f"verification"
+        )
+        _emit(args, "\n".join(lines))
+    return 0 if outcome["ok"] else 2
+
+
+# -- the campaign service: `repro serve|submit|jobs|fetch` -------------------
+
+
+#: default service endpoint for the client subcommands
+DEFAULT_URL = "http://127.0.0.1:8032"
+
+
+def _default_url() -> str:
+    return os.environ.get("REPRO_URL", DEFAULT_URL)
+
+
+def _add_url_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        default=_default_url(),
+        help="service endpoint (defaults to $REPRO_URL or "
+        f"{DEFAULT_URL})",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService, make_server
+
+    if args.workers is not None and args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    service = CampaignService(
+        store=args.store, workers=args.workers or 2, resume=True
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=args.quiet
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro service on http://{host}:{port} "
+        f"(store {service.store_root}, {service.workers} job worker(s))",
+        file=sys.stderr,
+        flush=True,
+    )
+    if service.recovered:
+        print(
+            f"recovered {len(service.recovered)} interrupted job(s): "
+            f"{', '.join(service.recovered)}",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def _job_progress(stream) -> Callable[[dict], None]:
+    def emit(job: dict) -> None:
+        snapshot = job.get("progress") or {}
+        if "completed" not in snapshot:
+            return
+        print(
+            f"[{snapshot['completed']}/{snapshot['total']}] "
+            f"{snapshot.get('cell')}: {snapshot.get('status')}",
+            file=stream,
+        )
+
+    return emit
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    if os.path.isfile(args.suite):
+        with open(args.suite) as handle:
+            try:
+                suite = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{args.suite}: malformed suite spec: {exc}"
+                ) from None
+    else:
+        suite = args.suite
+    client = ServiceClient(args.url)
+    job = client.submit(
+        suite,
+        workers=args.workers,
+        only=args.only,
+        engine=args.engine_override,
+        cache=False if args.no_cache else None,
+    )
+    if not args.wait:
+        if args.json:
+            _emit(args, json.dumps(job, indent=2))
+        else:
+            _emit(
+                args,
+                f"job {job['job_id']} {job['state']} "
+                f"(suite {job['suite']}) — poll with "
+                f"`repro jobs {job['job_id']}`",
+            )
+        return 0
+    progress = None if args.quiet else _job_progress(sys.stderr)
+    job = client.wait(
+        job["job_id"], timeout=args.timeout, progress=progress
+    )
+    if args.json:
+        _emit(args, json.dumps(job, indent=2))
+    else:
+        execution = (job.get("report") or {}).get("execution") or {}
+        _emit(
+            args,
+            f"job {job['job_id']}: {job['state']} — "
+            f"{execution.get('hits', 0)} hit(s), "
+            f"{execution.get('simulated', 0)} simulated, "
+            f"{execution.get('errors', 0)} error(s)"
+            + (f" [{job['error']}]" if job.get("error") else ""),
+        )
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        job = client.job(args.job_id)
+        if args.json:
+            _emit(args, json.dumps(job, indent=2))
+            return 0
+        lines = [f"job {job['job_id']} ({job['suite']}): {job['state']}"]
+        snapshot = job.get("progress") or {}
+        if "completed" in snapshot:
+            lines.append(
+                f"    progress: {snapshot['completed']}/"
+                f"{snapshot['total']} ({snapshot.get('cell')})"
+            )
+        if job.get("error"):
+            lines.append(f"    error   : {job['error']}")
+        for key in job.get("result_keys") or ():
+            lines.append(f"    result  : {key[:12]}…")
+        _emit(args, "\n".join(lines))
+        return 0
+    jobs = client.jobs()
+    if args.json:
+        _emit(args, json.dumps(jobs, indent=2))
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = []
+    for job in jobs:
+        snapshot = job.get("progress") or {}
+        progress = (
+            f"{snapshot['completed']}/{snapshot['total']}"
+            if "completed" in snapshot
+            else "-"
+        )
+        rows.append(
+            [
+                job["job_id"],
+                job["suite"],
+                job["state"],
+                progress,
+                time.strftime(
+                    "%H:%M:%S", time.localtime(job["created_at"])
+                ),
+            ]
+        )
+    _emit(
+        args,
+        f"{len(jobs)} job(s) at {args.url}\n"
+        + format_table(
+            ["job", "suite", "state", "progress", "created"], rows
+        ),
+    )
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.records:
+        payload = client.records(args.key)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(payload)
+            print(f"wrote {args.out}")
+        else:
+            print(payload, end="")
+        return 0
+    _emit(args, json.dumps(client.result(args.key), indent=2))
+    return 0
+
+
 # -- campaign suites: `repro suite run|ls|show` ------------------------------
 
 
@@ -625,6 +864,17 @@ campaign suites (1.5):
                                          verified hit (resume-by-default)
   repro suite run grid.json --workers 4  a custom SuiteSpec file over a
                                          bounded 4-process pool
+
+campaign service (1.6):
+  repro serve --store S --port 8032      long-running HTTP/JSON job
+                                         service over the suite runner
+                                         and the shared result store
+  repro submit paper_grid --wait         submit a suite as an async job
+                                         and stream [i/N] progress
+  repro jobs [JOB_ID]                    the server's job table
+  repro fetch KEY --records              a stored artifact's JSONL
+  repro store stats|verify               occupancy counters / sha256
+                                         sweep of every artifact
 """
 
 
@@ -844,6 +1094,131 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_options(suite_show)
     suite_show.set_defaults(func=_cmd_suite_show)
+
+    store = sub.add_parser(
+        "store",
+        help="result-store lifecycle: occupancy stats, artifact "
+        "verification",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts and on-disk footprint"
+    )
+    store_stats.set_defaults(func=_cmd_store_stats)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="sha256-verify every stored artifact (exit 2 on failure)",
+    )
+    store_verify.set_defaults(func=_cmd_store_verify)
+    for sub_parser in (store_stats, store_verify):
+        _add_store_options(sub_parser, required_default=True)
+        _add_output_options(sub_parser)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: submit suites as async jobs "
+        "over HTTP/JSON",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8032,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="PATH",
+        default=_default_store(),
+        help="result store the service executes against (job table "
+        "and artifacts live here; defaults to $REPRO_STORE or "
+        ".repro-store)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="bounded job worker pool (default: 2)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request log lines on stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a suite to a running service as an async job",
+    )
+    submit.add_argument(
+        "suite", help="built-in suite name or SuiteSpec JSON file"
+    )
+    _add_url_option(submit)
+    submit.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="per-job cell pool on the server",
+    )
+    submit.add_argument(
+        "--only",
+        choices=FAMILIES,
+        default=None,
+        help="run only the cells of one campaign family",
+    )
+    submit_engine = submit.add_mutually_exclusive_group()
+    submit_engine.add_argument(
+        "--packed",
+        dest="engine_override",
+        action="store_const",
+        const="packed",
+        default=None,
+    )
+    submit_engine.add_argument(
+        "--serial",
+        dest="engine_override",
+        action="store_const",
+        const="serial",
+    )
+    submit.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-run every cell but still refresh the store entries",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to a terminal state, streaming [i/N] "
+        "progress on stderr (exit 1 unless it ends 'done')",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="--wait deadline (default: 600)",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the --wait progress lines",
+    )
+    _add_output_options(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running service's jobs (or show one)"
+    )
+    jobs.add_argument(
+        "job_id", nargs="?", default=None, help="job id (omit to list)"
+    )
+    _add_url_option(jobs)
+    _add_output_options(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch a stored result from a running service by store key",
+    )
+    fetch.add_argument("key", help="store key (prefix accepted)")
+    fetch.add_argument(
+        "--records",
+        action="store_true",
+        help="the raw JSONL records instead of the metadata summary",
+    )
+    _add_url_option(fetch)
+    _add_output_options(fetch)
+    fetch.set_defaults(func=_cmd_fetch)
 
     registry = sub.add_parser(
         "registry", help="list pluggable codes/checkers/mappings/decoders"

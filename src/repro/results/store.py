@@ -26,6 +26,7 @@ from the key, so a re-run on different hardware still hits.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -276,7 +277,10 @@ class ResultStore:
         payload = result_set.to_jsonl()
         payload_path = self._payload_path(key)
         meta_path = self._meta_path(key)
-        if os.path.exists(meta_path):
+        # suppress, not exists+remove: two writers racing the same key
+        # (shared-store runners, service job threads) may both see the
+        # old meta and only one remove can win
+        with contextlib.suppress(FileNotFoundError):
             os.remove(meta_path)
         # pid-unique temp names: concurrent writers of the same key
         # (sweep workers, parallel CI shards) each promote a complete
@@ -311,11 +315,14 @@ class ResultStore:
         self.stats.puts += 1
         return key
 
-    def get(self, key: str, verify: bool = True) -> Optional[ResultSet]:
-        """The stored set, hash-verified against its metadata; ``None``
-        on a miss, :class:`ResultStoreError` on corruption (a payload
-        whose bytes no longer hash to the recorded sha256 — evidence of
-        tampering, never of an interrupted write)."""
+    def payload(self, key: str, verify: bool = True) -> Optional[str]:
+        """The raw JSONL payload, hash-verified like :meth:`get`.
+
+        The read side the service layer streams from request threads:
+        no :class:`ResultSet` parse, no re-serialisation — the stored
+        bytes, verified against the recorded sha256.  Counted in
+        :attr:`stats` exactly like ``get`` (it *is* ``get`` without the
+        parse)."""
         self.stats.requests += 1
         if not self.contains(key):
             self.stats.misses += 1
@@ -340,6 +347,16 @@ class ResultStore:
                 )
             self.stats.verified += 1
         self.stats.hits += 1
+        return payload
+
+    def get(self, key: str, verify: bool = True) -> Optional[ResultSet]:
+        """The stored set, hash-verified against its metadata; ``None``
+        on a miss, :class:`ResultStoreError` on corruption (a payload
+        whose bytes no longer hash to the recorded sha256 — evidence of
+        tampering, never of an interrupted write)."""
+        payload = self.payload(key, verify=verify)
+        if payload is None:
+            return None
         return ResultSet.from_jsonl(payload)
 
     def meta(self, key: str) -> Optional[dict]:
@@ -418,6 +435,99 @@ class ResultStore:
                 )
             )
         return entries
+
+    def report_keys(self) -> List[str]:
+        """Keys of the design-report side table (see
+        :meth:`put_report`)."""
+        reports_dir = os.path.join(self.root, "reports")
+        if not os.path.isdir(reports_dir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(reports_dir)
+            if name.endswith(".json")
+        )
+
+    def usage(self) -> dict:
+        """Size/occupancy counters for ``repro store stats``: campaign
+        and shard entries, report side-table entries, payload bytes and
+        the total on-disk footprint of the store directory."""
+        campaigns = self.keys()
+        all_keys = self.keys(include_shards=True)
+        payload_bytes = 0
+        for key in all_keys:
+            with contextlib.suppress(OSError):
+                payload_bytes += os.path.getsize(self._payload_path(key))
+        reports = self.report_keys()
+        report_bytes = 0
+        for key in reports:
+            with contextlib.suppress(OSError):
+                report_bytes += os.path.getsize(self._report_path(key))
+        total_bytes = 0
+        for base, _dirs, names in os.walk(self.root):
+            for name in names:
+                with contextlib.suppress(OSError):
+                    total_bytes += os.path.getsize(
+                        os.path.join(base, name)
+                    )
+        return {
+            "root": self.root,
+            "campaigns": len(campaigns),
+            "shards": len(all_keys) - len(campaigns),
+            "reports": len(reports),
+            "payload_bytes": payload_bytes,
+            "report_bytes": report_bytes,
+            "total_bytes": total_bytes,
+        }
+
+    # -- verification sweep --------------------------------------------------
+
+    def verify_entry(self, key: str) -> Optional[str]:
+        """``None`` when the entry's payload hashes to its recorded
+        sha256, else a one-line diagnostic (never raises — this is the
+        sweep primitive behind ``repro store verify``)."""
+        meta = self.meta(key)
+        if meta is None:
+            return f"{key}: metadata missing or unreadable"
+        payload_path = self._payload_path(key)
+        try:
+            with open(payload_path) as handle:
+                payload = handle.read()
+        except OSError:
+            return f"{key}: payload missing or unreadable"
+        digest = content_digest(payload)
+        if digest != meta.get("sha256"):
+            return (
+                f"{key}: sha256 mismatch (expected "
+                f"{str(meta.get('sha256'))[:12]}…, got {digest[:12]}…)"
+            )
+        return None
+
+    def verify_all(self) -> dict:
+        """Hash-verify every artifact — campaign payloads, shard
+        checkpoints and report side-table entries — and report the
+        failures (``repro store verify`` exits 2 when any)."""
+        failures: List[str] = []
+        keys = self.keys(include_shards=True)
+        for key in keys:
+            issue = self.verify_entry(key)
+            if issue is not None:
+                failures.append(issue)
+        reports = self.report_keys()
+        for key in reports:
+            try:
+                if self.get_report(key) is None:
+                    failures.append(f"report {key}: unreadable")
+            except ResultStoreError as exc:
+                failures.append(f"report {key}: {exc}")
+        return {
+            "root": self.root,
+            "checked": len(keys) + len(reports),
+            "entries": len(keys),
+            "reports": len(reports),
+            "failures": failures,
+            "ok": not failures,
+        }
 
     def resolve(self, prefix: str) -> str:
         """A unique full key from a human-typed prefix.

@@ -1,0 +1,49 @@
+"""In-process service doubles — handler tests without sockets.
+
+:class:`InProcessClient` is the real :class:`~repro.service.client.
+ServiceAPI` running against the real :class:`~repro.service.handlers.
+Router`: every call goes through the same dispatch, JSON encoding and
+error mapping as an HTTP request, minus the socket.  Anything proven
+against it holds over the wire by construction, and the suite runs in
+milliseconds because nothing binds a port.
+
+::
+
+    with CampaignService(store=tmp) as service:
+        client = InProcessClient(service)
+        job = client.submit("smoke")
+        job = client.wait(job["job_id"])
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from repro.service.client import ServiceAPI
+from repro.service.handlers import Router
+from repro.service.service import CampaignService
+
+__all__ = ["InProcessClient"]
+
+
+class InProcessClient(ServiceAPI):
+    """The client API routed straight through :class:`Router` — same
+    status codes, same payloads, no network."""
+
+    def __init__(self, service: CampaignService):
+        self.service = service
+        self._router = Router(service)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> Tuple[int, str, bytes]:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        return self._router.route(method, path, body)

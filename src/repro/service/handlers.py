@@ -1,0 +1,198 @@
+"""HTTP routing for ``repro serve`` — thin translation, no logic.
+
+:class:`Router` is the whole API surface as a pure function:
+``(method, path, body) -> (status, content-type, payload bytes)``.  It
+only translates HTTP to :class:`~repro.service.service.CampaignService`
+calls and service exceptions to status codes — which is what makes the
+in-process double in :mod:`repro.service.fakes` exact: handler tests
+exercise this very router without opening a socket.
+
+Routes::
+
+    GET  /healthz                  service status + job counts
+    POST /suites                   submit {"suite": ..., "options": ...}
+    GET  /jobs                     the job table
+    GET  /jobs/{id}                one job (live progress snapshot)
+    POST /jobs/{id}/cancel         cancel (409 once terminal)
+    GET  /results/{key}            artifact metadata (prefix accepted)
+    GET  /results/{key}/records    the raw JSONL records
+
+:func:`make_server` binds the router into a stdlib
+:class:`~http.server.ThreadingHTTPServer`; :func:`serving` runs one on
+a background thread for tests, examples and benches.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator, Optional, Tuple
+
+from repro.results.store import ResultStoreError
+from repro.service.jobs import JobError, JobStateError
+from repro.service.service import CampaignService
+
+__all__ = ["Router", "make_server", "serving"]
+
+JSON_TYPE = "application/json"
+JSONL_TYPE = "application/x-ndjson"
+
+Response = Tuple[int, str, bytes]
+
+
+def _json_response(status: int, payload: object) -> Response:
+    body = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    return status, JSON_TYPE, body.encode("utf-8")
+
+
+class Router:
+    """Dispatch one request against a service; never raises — every
+    failure is a JSON error response with the matching status code."""
+
+    def __init__(self, service: CampaignService):
+        self.service = service
+
+    def route(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Response:
+        try:
+            return self._dispatch(method, path.split("?", 1)[0], body)
+        except JobStateError as exc:
+            return _json_response(409, {"error": str(exc)})
+        except (JobError, LookupError) as exc:
+            return _json_response(404, {"error": str(exc)})
+        except ValueError as exc:
+            return _json_response(400, {"error": str(exc)})
+        except ResultStoreError as exc:
+            return _json_response(500, {"error": str(exc)})
+
+    def _dispatch(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Response:
+        service = self.service
+        segments = [part for part in path.split("/") if part]
+        if method == "GET" and segments == ["healthz"]:
+            return _json_response(200, service.health())
+        if method == "POST" and segments == ["suites"]:
+            payload = self._parse_body(body)
+            if "suite" not in payload:
+                raise ValueError(
+                    "the submission body needs a 'suite': a built-in "
+                    "name or a full SuiteSpec object"
+                )
+            record = service.submit(
+                payload["suite"], payload.get("options")
+            )
+            return _json_response(202, record.to_dict())
+        if segments and segments[0] == "jobs":
+            if method == "GET" and len(segments) == 1:
+                return _json_response(
+                    200,
+                    {
+                        "jobs": [
+                            record.to_dict()
+                            for record in service.list_jobs()
+                        ],
+                        "counts": service.jobs.counts(),
+                    },
+                )
+            if method == "GET" and len(segments) == 2:
+                return _json_response(
+                    200, service.job(segments[1]).to_dict()
+                )
+            if (
+                method == "POST"
+                and len(segments) == 3
+                and segments[2] == "cancel"
+            ):
+                return _json_response(
+                    200, service.cancel(segments[1]).to_dict()
+                )
+        if segments and segments[0] == "results" and method == "GET":
+            if len(segments) == 2:
+                return _json_response(200, service.result(segments[1]))
+            if len(segments) == 3 and segments[2] == "records":
+                payload = service.records(segments[1])
+                return 200, JSONL_TYPE, payload.encode("utf-8")
+        return _json_response(
+            404, {"error": f"no route for {method} {path}"}
+        )
+
+    @staticmethod
+    def _parse_body(body: Optional[bytes]) -> dict:
+        if not body:
+            raise ValueError("a JSON request body is required")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("the request body must be a JSON object")
+        return payload
+
+
+def make_server(
+    service: CampaignService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` threading HTTP server over the
+    router (``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``)."""
+    from repro import __version__
+
+    router = Router(service)
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = f"repro-serve/{__version__}"
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args) -> None:
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+        def _respond(self, response: Response) -> None:
+            status, content_type, payload = response
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+            self._respond(router.route("GET", self.path))
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            self._respond(router.route("POST", self.path, body))
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+@contextlib.contextmanager
+def serving(
+    service: CampaignService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> Iterator[str]:
+    """Serve on a background thread; yields the base URL and shuts the
+    server down on exit (tests, the example, the bench)."""
+    server = make_server(service, host=host, port=port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    try:
+        yield f"http://{bound_host}:{bound_port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

@@ -294,7 +294,12 @@ class SuiteRunner:
     after interruptions.  ``cache=False`` re-runs every cell but still
     refreshes the store.  ``workers=N`` bounds the process pool
     (``None``/1 = in-process serial, the default).  ``progress`` is
-    called with one event dict per cell transition.
+    called with one event dict per cell transition; a callback that
+    raises is counted in :attr:`progress_errors` and never aborts the
+    suite (observers are fail-soft, like cells).  ``should_stop`` is a
+    zero-argument callable polled between cells — when it turns true
+    the runner stops scheduling and returns the outcomes so far (the
+    service layer's cooperative job cancellation).
     """
 
     def __init__(
@@ -303,6 +308,7 @@ class SuiteRunner:
         cache: bool = True,
         workers: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -311,10 +317,21 @@ class SuiteRunner:
         self.cache = cache
         self.workers = workers
         self.progress = progress
+        self.should_stop = should_stop
+        #: progress callbacks that raised (counted, never propagated)
+        self.progress_errors = 0
 
     def _emit(self, event: dict) -> None:
-        if self.progress is not None:
+        if self.progress is None:
+            return
+        try:
             self.progress(event)
+        except Exception:
+            # fail-soft: a broken observer must not abort the suite
+            self.progress_errors += 1
+
+    def _stopping(self) -> bool:
+        return self.should_stop is not None and bool(self.should_stop())
 
     def run(
         self,
@@ -363,6 +380,8 @@ class SuiteRunner:
         outcomes: List[CellOutcome] = []
         total = len(cells)
         for index, cell in enumerate(cells):
+            if self._stopping():
+                break
             self._emit(
                 {
                     "event": "start",
@@ -389,6 +408,8 @@ class SuiteRunner:
 
     def _run_pooled(self, cells: Sequence[CampaignCell]) -> List[CellOutcome]:
         total = len(cells)
+        if self._stopping():
+            return []
         outcomes: List[Optional[CellOutcome]] = [None] * total
         pool_size = min(self.workers, total) or 1
         with futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
@@ -425,4 +446,8 @@ class SuiteRunner:
                         "wall_time_s": outcome.wall_time_s,
                     }
                 )
+                if self._stopping():
+                    for queued in pending:
+                        queued.cancel()
+                    break
         return [outcome for outcome in outcomes if outcome is not None]

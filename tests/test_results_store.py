@@ -8,6 +8,8 @@ run.
 """
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -165,6 +167,90 @@ class TestStoreBasics:
         second, hit2, key2 = store.load_or_run(material, runner)
         assert (hit, hit2, key) == (False, True, key2)
         assert first == second and len(calls) == 1
+
+
+def _racing_put(root, key, barrier):
+    """Module-level so a child process can run it: one racing writer."""
+    store = ResultStore(root)
+    barrier.wait(timeout=30)
+    store.put(key, sample_set(), {"campaign": "race"})
+
+
+class TestConcurrentWriters:
+    def test_two_process_put_race_leaves_one_verified_artifact(
+        self, tmp_path
+    ):
+        """Two processes racing `put` on one key: the meta-last
+        protocol (retract, replace payload, promote meta — with the
+        retraction tolerant of the other writer winning the remove)
+        must leave exactly one complete, hash-verified artifact."""
+        root = str(tmp_path / "store")
+        key = campaign_key({"campaign": "race"})
+        for round_no in range(3):
+            barrier = multiprocessing.Barrier(2)
+            workers = [
+                multiprocessing.Process(
+                    target=_racing_put, args=(root, key, barrier)
+                )
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            assert [worker.exitcode for worker in workers] == [0, 0], (
+                f"round {round_no}: a racing writer crashed"
+            )
+            store = ResultStore(root)
+            assert store.keys() == [key]
+            assert store.verify_entry(key) is None
+            assert store.get(key) == sample_set()
+            # both writers promoted complete files; no strays linger
+            assert [n for n in os.listdir(root) if ".tmp" in n] == []
+
+
+class TestStoreIntrospection:
+    """The 1.6 sweep primitives behind `repro store stats|verify`."""
+
+    def test_usage_counts_entries_and_bytes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(campaign_key({"u": 1}), sample_set(), {"u": 1})
+        store.put_report("r" * 64, {"suite": "tiny"})
+        usage = store.usage()
+        assert usage["campaigns"] == 1
+        assert usage["reports"] == 1
+        assert usage["payload_bytes"] > 0
+        assert usage["total_bytes"] >= usage["payload_bytes"]
+        assert usage["root"] == store.root
+
+    def test_verify_all_clean_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(campaign_key({"v": 1}), sample_set())
+        store.put_report("a" * 64, {"suite": "tiny"})
+        outcome = store.verify_all()
+        assert outcome["ok"]
+        assert outcome["entries"] == 1
+        assert outcome["reports"] == 1
+        assert outcome["failures"] == []
+
+    def test_verify_all_flags_corruption(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = campaign_key({"v": 2})
+        store.put(key, sample_set())
+        with open(store._payload_path(key), "a") as handle:
+            handle.write('{"f":"evil","k":"sa1"}\n')
+        outcome = store.verify_all()
+        assert not outcome["ok"]
+        assert any(key[:12] in failure for failure in outcome["failures"])
+        diagnostic = store.verify_entry(key)
+        assert diagnostic is not None and "sha256" in diagnostic
+
+    def test_verify_entry_missing_meta(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = campaign_key({"v": 3})
+        store.put(key, sample_set())
+        os.remove(store._meta_path(key))
+        assert "metadata" in store.verify_entry(key)
 
 
 def _break_simulators(monkeypatch):

@@ -1,0 +1,267 @@
+"""CampaignService — async suite jobs over one shared store, tested
+through :class:`InProcessClient` (the real client API routed through
+the real Router, no sockets).
+
+Acceptance properties from the 1.6 service layer:
+
+* a submitted suite runs to ``done`` with live ``[i/N]`` progress and
+  per-cell result keys, every one fetchable and hash-verified;
+* re-submitting an identical suite is served as verified store hits —
+  the simulator is never invoked;
+* cancellation is immediate for queued jobs and cooperative (next cell
+  boundary) for running ones;
+* the job table survives a service restart, and ``running`` jobs
+  interrupted by a crash are recovered back to ``queued``.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.suite.runner as runner_module
+from repro.service import (
+    CampaignService,
+    InProcessClient,
+    JobQueue,
+    JobStateError,
+    ServiceError,
+)
+
+from test_suite import tiny_suite
+
+
+def make_service(tmp_path, **kwargs):
+    return CampaignService(str(tmp_path / "store"), **kwargs)
+
+
+class Gate:
+    """Block execute_cell until released — deterministic cancel tests."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._real = runner_module.execute_cell
+
+    def __call__(self, cell_dict, store_root, cache=True):
+        self.started.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        return self._real(cell_dict, store_root, cache)
+
+
+class TestSubmitAndRun:
+    def test_submit_runs_to_done_with_progress_and_keys(self, tmp_path):
+        with make_service(tmp_path) as service:
+            client = InProcessClient(service)
+            snapshots = []
+            job = client.submit(tiny_suite())
+            assert job["state"] == "queued"
+            job = client.wait(
+                job["job_id"],
+                progress=lambda j: snapshots.append(dict(j["progress"])),
+            )
+            assert job["state"] == "done"
+            assert job["progress"]["completed"] == 3
+            assert job["progress"]["total"] == 3
+            assert job["report"]["execution"]["errors"] == 0
+            assert len(job["result_keys"]) == 3
+            # the snapshot advanced monotonically as cells completed
+            completed = [s["completed"] for s in snapshots if s]
+            assert completed == sorted(completed)
+
+            for key in job["result_keys"]:
+                meta = client.result(key)
+                assert meta["kind"] == "campaign"
+                assert meta["sha256"]
+                records = client.records(key)
+                assert all(
+                    json.loads(line)
+                    for line in records.splitlines()
+                    if line
+                )
+
+    def test_identical_resubmit_is_served_from_the_store(self, tmp_path):
+        with make_service(tmp_path) as service:
+            client = InProcessClient(service)
+            suite = tiny_suite()
+            first = client.wait(client.submit(suite)["job_id"])
+            assert first["report"]["execution"]["simulated"] == 3
+
+            again = client.wait(client.submit(suite)["job_id"])
+            execution = again["report"]["execution"]
+            assert execution["simulated"] == 0
+            assert execution["hits"] == 3
+            assert execution["verified_hits"] == 3
+            assert again["result_keys"] == first["result_keys"]
+
+    def test_two_clients_submitting_concurrently_both_complete(
+        self, tmp_path
+    ):
+        # the ISSUE acceptance scenario: one service, one store, two
+        # clients racing distinct suites — both must land `done` with
+        # verified artifacts
+        with make_service(tmp_path, workers=2) as service:
+            clients = [InProcessClient(service) for _ in range(2)]
+            suites = [tiny_suite(cycles=64), tiny_suite(cycles=96)]
+            done, errors = {}, []
+
+            def run(client, suite, tag):
+                try:
+                    job = client.submit(suite)
+                    done[tag] = client.wait(job["job_id"], timeout=120)
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(c, s, i))
+                for i, (c, s) in enumerate(zip(clients, suites))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert {job["state"] for job in done.values()} == {"done"}
+            for job in done.values():
+                for key in job["result_keys"]:
+                    assert clients[0].result(key)["sha256"]
+
+    def test_job_that_raises_lands_in_error(self, tmp_path):
+        with make_service(tmp_path) as service:
+            client = InProcessClient(service)
+            # `only` filtering to a family the suite lacks raises inside
+            # SuiteRunner.run — the job must capture it, not vanish
+            job = client.submit(tiny_suite(), only="design")
+            job = client.wait(job["job_id"])
+            assert job["state"] == "error"
+            assert "design" in job["error"]
+
+    def test_health_counts_jobs(self, tmp_path):
+        with make_service(tmp_path) as service:
+            client = InProcessClient(service)
+            job = client.wait(client.submit(tiny_suite())["job_id"])
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["jobs"]["done"] == 1
+            assert health["store"] == service.store_root
+            assert job["state"] == "done"
+
+
+class TestValidation:
+    def test_unknown_option_rejected(self, tmp_path):
+        with make_service(tmp_path) as service:
+            with pytest.raises(ValueError, match="unknown job options"):
+                service.submit(tiny_suite(), options={"retries": 3})
+
+    @pytest.mark.parametrize(
+        "options, match",
+        [
+            ({"workers": 0}, "workers"),
+            ({"engine": "quantum"}, "engine"),
+            ({"only": "nope"}, "only"),
+            ({"cache": "yes"}, "cache"),
+        ],
+    )
+    def test_bad_option_values_rejected(self, tmp_path, options, match):
+        with make_service(tmp_path) as service:
+            with pytest.raises(ValueError, match=match):
+                service.submit(tiny_suite(), options=options)
+
+    def test_bad_suite_type_rejected(self, tmp_path):
+        with make_service(tmp_path) as service:
+            with pytest.raises(ValueError, match="suite must be"):
+                service.submit(42)
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        service.close()
+        with pytest.raises(RuntimeError, match="shut down"):
+            service.submit(tiny_suite())
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, tmp_path, monkeypatch):
+        gate = Gate()
+        monkeypatch.setattr(runner_module, "execute_cell", gate)
+        with make_service(tmp_path, workers=1) as service:
+            client = InProcessClient(service)
+            blocker = client.submit(tiny_suite())
+            queued = client.submit(tiny_suite(cycles=96))
+            assert gate.started.wait(timeout=30)
+
+            cancelled = client.cancel(queued["job_id"])
+            assert cancelled["state"] == "cancelled"
+            assert cancelled["error"] == "cancelled before start"
+
+            gate.release.set()
+            assert client.wait(blocker["job_id"])["state"] == "done"
+            # the pool skips the cancelled job instead of reviving it
+            assert client.job(queued["job_id"])["state"] == "cancelled"
+
+    def test_cancel_running_job_stops_at_the_cell_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        gate = Gate()
+        monkeypatch.setattr(runner_module, "execute_cell", gate)
+        with make_service(tmp_path, workers=1) as service:
+            client = InProcessClient(service)
+            job = client.submit(tiny_suite())
+            assert gate.started.wait(timeout=30)
+
+            requested = client.cancel(job["job_id"])
+            assert requested["state"] == "running"
+            assert requested["progress"]["cancel_requested"]
+
+            gate.release.set()
+            job = client.wait(job["job_id"])
+            assert job["state"] == "cancelled"
+            # the in-flight cell finished; the remaining two never ran
+            assert job["report"]["execution"]["cells"] == 1
+
+    def test_cancel_terminal_job_conflicts(self, tmp_path):
+        with make_service(tmp_path) as service:
+            client = InProcessClient(service)
+            job = client.wait(client.submit(tiny_suite())["job_id"])
+            with pytest.raises(ServiceError) as err:
+                client.cancel(job["job_id"])
+            assert err.value.status == 409
+            with pytest.raises(JobStateError):
+                service.cancel(job["job_id"])
+
+
+class TestRestart:
+    def test_job_table_survives_a_service_restart(self, tmp_path):
+        root = str(tmp_path / "store")
+        with CampaignService(root) as service:
+            client = InProcessClient(service)
+            job = client.wait(client.submit(tiny_suite())["job_id"])
+            assert job["state"] == "done"
+
+        with CampaignService(root) as reborn:
+            client = InProcessClient(reborn)
+            survivor = client.job(job["job_id"])
+            assert survivor["state"] == "done"
+            assert survivor["result_keys"] == job["result_keys"]
+            # and its artifacts are still fetchable
+            assert client.records(job["result_keys"][0])
+
+    def test_interrupted_running_job_is_recovered(self, tmp_path):
+        root = str(tmp_path / "store")
+        # simulate a server death mid-job: a `running` record on disk
+        queue = JobQueue(root)
+        spec = tiny_suite().to_dict()
+        record = queue.create(suite="tiny", spec=spec)
+        queue.transition(record.job_id, "running")
+
+        with CampaignService(root) as service:  # resume=False: inspect
+            assert service.recovered == [record.job_id]
+            survivor = service.job(record.job_id)
+            assert survivor.state == "queued"
+            assert survivor.recovered
+
+        with CampaignService(root, resume=True) as service:
+            client = InProcessClient(service)
+            job = client.wait(record.job_id)
+            assert job["state"] == "done"
+            assert job["recovered"]
+            assert len(job["result_keys"]) == 3

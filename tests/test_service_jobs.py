@@ -1,0 +1,178 @@
+"""Job records and the persistent JobQueue behind `repro serve`:
+round-trippable records, an enforced state machine with immutable
+terminal states, atomic persistence that survives a process restart,
+and recovery of jobs interrupted mid-run."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobError,
+    JobQueue,
+    JobRecord,
+    JobStateError,
+)
+from repro.service.jobs import _TRANSITIONS, new_job_id
+
+
+def make_queue(tmp_path):
+    return JobQueue(str(tmp_path / "store"))
+
+
+class TestJobRecord:
+    def test_round_trips_through_dict(self):
+        record = JobRecord(
+            job_id="abc123",
+            suite="tiny",
+            spec={"name": "tiny", "blocks": []},
+            options={"workers": 2},
+            progress={"completed": 1, "total": 3},
+            result_keys=["deadbeef"],
+        )
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone == record
+        # and the dict itself is plain JSON
+        json.dumps(record.to_dict())
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            JobRecord(job_id="x", suite="s", spec={}, state="paused")
+
+    def test_created_at_stamped(self):
+        assert JobRecord(job_id="x", suite="s", spec={}).created_at > 0
+
+    def test_finished_property_matches_terminal_states(self):
+        for state in JOB_STATES:
+            record = JobRecord(job_id="x", suite="s", spec={}, state=state)
+            assert record.finished == (state in TERMINAL_STATES)
+
+    def test_job_ids_are_unique(self):
+        ids = {new_job_id() for _ in range(64)}
+        assert len(ids) == 64
+
+
+class TestStateMachine:
+    def test_happy_path(self, tmp_path):
+        queue = make_queue(tmp_path)
+        record = queue.create(suite="tiny", spec={})
+        assert record.state == "queued"
+        running = queue.transition(record.job_id, "running")
+        assert running.started_at is not None
+        done = queue.transition(record.job_id, "done", report={"x": 1})
+        assert done.finished_at is not None
+        assert done.report == {"x": 1}
+
+    def test_every_illegal_transition_raises(self, tmp_path):
+        queue = make_queue(tmp_path)
+        for state in JOB_STATES:
+            record = queue.create(suite="s", spec={}, job_id=f"j-{state}")
+            if state != "queued":  # force the starting state
+                queue._jobs[record.job_id].state = state
+            for target in JOB_STATES:
+                if target in _TRANSITIONS[state]:
+                    continue
+                with pytest.raises(JobStateError):
+                    queue.transition(record.job_id, target)
+
+    def test_terminal_records_are_immutable(self, tmp_path):
+        queue = make_queue(tmp_path)
+        record = queue.create(suite="s", spec={})
+        queue.transition(record.job_id, "running")
+        queue.transition(record.job_id, "error", error="boom")
+        with pytest.raises(JobStateError, match="already error"):
+            queue.update(record.job_id, progress={"completed": 1})
+
+    def test_update_rejects_state_and_unknown_fields(self, tmp_path):
+        queue = make_queue(tmp_path)
+        record = queue.create(suite="s", spec={})
+        with pytest.raises(ValueError, match="unknown job field"):
+            queue.update(record.job_id, state="done")
+        with pytest.raises(ValueError, match="unknown job field"):
+            queue.update(record.job_id, nonsense=1)
+        with pytest.raises(ValueError, match="unknown job state"):
+            queue.transition(record.job_id, "paused")
+
+    def test_unknown_job_raises_joberror(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(JobError, match="unknown job"):
+            queue.get("nope")
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.create(suite="s", spec={}, job_id="same")
+        with pytest.raises(JobError, match="duplicate"):
+            queue.create(suite="s", spec={}, job_id="same")
+
+    def test_get_returns_a_defensive_copy(self, tmp_path):
+        queue = make_queue(tmp_path)
+        record = queue.create(suite="s", spec={})
+        queue.get(record.job_id).progress["completed"] = 99
+        assert queue.get(record.job_id).progress == {}
+
+
+class TestPersistence:
+    def test_table_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "store")
+        queue = JobQueue(root)
+        record = queue.create(suite="tiny", spec={"name": "tiny"})
+        queue.transition(record.job_id, "running")
+        queue.transition(
+            record.job_id, "done", result_keys=["k1", "k2"]
+        )
+
+        reopened = JobQueue(root)
+        clone = reopened.get(record.job_id)
+        assert clone.state == "done"
+        assert clone.result_keys == ["k1", "k2"]
+        assert clone.spec == {"name": "tiny"}
+
+    def test_unparsable_record_files_are_skipped(self, tmp_path):
+        root = str(tmp_path / "store")
+        queue = JobQueue(root)
+        good = queue.create(suite="s", spec={})
+        with open(os.path.join(queue.root, "broken.json"), "w") as handle:
+            handle.write("{half a rec")
+        with open(os.path.join(queue.root, "hollow.json"), "w") as handle:
+            handle.write("{}")
+        reopened = JobQueue(root)
+        assert [r.job_id for r in reopened.list()] == [good.job_id]
+
+    def test_list_sorted_and_filtered(self, tmp_path):
+        queue = make_queue(tmp_path)
+        first = queue.create(suite="a", spec={}, job_id="a1")
+        second = queue.create(suite="b", spec={}, job_id="b2")
+        queue.transition(second.job_id, "running")
+        assert [r.job_id for r in queue.list()] == ["a1", "b2"]
+        assert [r.job_id for r in queue.list(state="queued")] == ["a1"]
+        counts = queue.counts()
+        assert counts["queued"] == 1 and counts["running"] == 1
+        assert first.state == "queued"
+
+
+class TestRecover:
+    def test_running_jobs_are_requeued(self, tmp_path):
+        root = str(tmp_path / "store")
+        queue = JobQueue(root)
+        interrupted = queue.create(suite="s", spec={}, job_id="mid")
+        queue.transition(interrupted.job_id, "running")
+        finished = queue.create(suite="s", spec={}, job_id="fin")
+        queue.transition(finished.job_id, "running")
+        queue.transition(finished.job_id, "done")
+
+        # a new process opens the same table: the in-flight job comes
+        # back queued (store-backed resume makes re-running idempotent)
+        reopened = JobQueue(root)
+        assert reopened.recover() == ["mid"]
+        record = reopened.get("mid")
+        assert record.state == "queued"
+        assert record.recovered
+        assert record.started_at is None
+        assert reopened.get("fin").state == "done"
+
+    def test_recover_is_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        assert queue.recover() == []

@@ -197,6 +197,49 @@ class TestRunner:
         assert done[0]["total"] == 3
         assert {e["status"] for e in done} == {"ran"}
 
+    def test_raising_progress_callback_never_aborts_the_suite(self):
+        # regression: a broken observer used to propagate out of _emit
+        # and kill the whole run — observers must be fail-soft
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        runner = SuiteRunner(progress=explode)
+        report = runner.run(tiny_suite())
+        assert report.simulated == 3 and report.errors == 0
+        # one start + one done event per serial cell, all swallowed
+        assert runner.progress_errors == 6
+
+    def test_raising_progress_callback_fail_soft_in_pooled_runs(self):
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        runner = SuiteRunner(workers=2, progress=explode)
+        report = runner.run(tiny_suite())
+        assert report.simulated == 3 and report.errors == 0
+        assert runner.progress_errors == 3  # pooled: done events only
+
+    def test_should_stop_halts_between_cells(self):
+        seen = []
+
+        def stop_after_first():
+            return len(seen) >= 1
+
+        def observe(event):
+            if event["event"] == "done":
+                seen.append(event)
+
+        runner = SuiteRunner(
+            progress=observe, should_stop=stop_after_first
+        )
+        report = runner.run(tiny_suite())
+        assert len(report.cells) == 1  # cell 0 finished, 1 and 2 never ran
+
+    def test_should_stop_true_up_front_runs_nothing(self):
+        report = SuiteRunner(should_stop=lambda: True).run(tiny_suite())
+        assert report.cells == []
+        pooled = SuiteRunner(workers=2, should_stop=lambda: True)
+        assert pooled.run(tiny_suite()).cells == []
+
     def test_process_pool_matches_serial(self, tmp_path):
         serial = SuiteRunner().run(tiny_suite())
         pooled = SuiteRunner(workers=2).run(tiny_suite())
