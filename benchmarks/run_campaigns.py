@@ -1,17 +1,22 @@
-"""Campaign engine benchmark: packed vs serial -> BENCH_campaigns.json.
+"""Campaign engine benchmark: serial vs packed vs vector ->
+BENCH_campaigns.json.
 
 Runs the campaign-class workloads (exhaustive decoder campaign,
 end-to-end scheme campaign, the empirical latency experiment) in smoke
-mode on both engines, asserts the packed engine is **bit-identical** to
-the serial oracle, and records wall time, faults/sec and speedup.  The
-JSON this writes is the perf trajectory baseline tracked from PR 2
-onward; CI executes it on every push.
+mode on every available engine, asserts the fast engines are
+**bit-identical** to the serial oracle, and records wall time,
+faults/sec and speedup.  When NumPy is importable the same workloads
+also run on the ``vector`` lane-array engine (``vector_*`` columns) and
+a million-cycle scheme bench exercises its chunked windows against the
+packed engine; without NumPy those columns are omitted and the run
+still succeeds.  The JSON this writes is the perf trajectory baseline
+tracked from PR 2 onward; CI executes it on every push.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_campaigns.py [--out PATH]
-        [--check-speedup X]   # fail unless the 6-bit decoder campaign
-                              # beats serial by at least X (local gating)
+        [--check-speedup X]   # fail unless every per-bench floor holds
+                              # (X for the 6-bit decoder; see FLOORS)
 """
 
 from __future__ import annotations
@@ -33,11 +38,21 @@ from repro.faultsim.injector import (
     decoder_fault_list,
     sample_faults,
 )
+from repro.faultsim.vectorsim import numpy_available
 from repro.memory.faults import CellStuckAt, DataLineStuckAt
 from repro.memory.organization import MemoryOrganization
 from repro.memory.ram import BehavioralRAM
 from repro.rom.nor_matrix import CheckedDecoder
 from repro.scenarios import CampaignEngine, TransientScenario, Workload
+
+#: per-bench speedup floors enforced by --check-speedup (local gating;
+#: CI only checks bit-identity to stay robust on shared runners).  The
+#: decoder floor comes from the --check-speedup argument itself; vector
+#: floors are skipped when NumPy is missing.
+FLOORS = (
+    ("scheme_64x8_c300", "vector_speedup", 15.0),
+    ("transient_scrubbed_n8", "speedup", 10.0),
+)
 
 
 def _records(result):
@@ -47,34 +62,47 @@ def _records(result):
     ]
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+def _timed(fn, repeats: int = 1):
+    """Run ``fn`` ``repeats`` times; (first result, best wall time).
+
+    Single-shot timing of millisecond-scale campaigns is noise-dominated
+    on shared runners, so speedup columns are ratios of per-engine
+    minima.  Campaign calls are idempotent (each run re-fills the memory
+    and clears faults), so repeating is safe."""
+    best = None
+    result = None
+    for rep in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if rep == 0:
+            result = out
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
 
 
 def bench_decoder(n_bits: int, cycles: int, seed: int) -> dict:
     """Exhaustive stuck-at campaign on a checked decoder (the acceptance
-    workload: n=6 over >=256 cycles must clear 20x)."""
+    workload: n=6 over >=256 cycles must clear 20x packed)."""
     code = MOutOfNCode(3, 5)
     checked = CheckedDecoder(mapping_for_code(code, n_bits))
     checker = MOutOfNChecker(code.m, code.n, structural=False)
     faults = decoder_fault_list(checked)
     addresses = Workload.uniform(1 << n_bits, cycles, seed=seed).address_list()
 
-    serial, serial_s = _timed(
-        lambda: decoder_campaign(
-            checked, checker, faults, addresses,
-            attach_analytic=False, engine="serial",
+    def run(engine):
+        return _timed(
+            lambda: decoder_campaign(
+                checked, checker, faults, addresses,
+                attach_analytic=False, engine=engine,
+            ),
+            repeats=3,
         )
-    )
-    packed, packed_s = _timed(
-        lambda: decoder_campaign(
-            checked, checker, faults, addresses, attach_analytic=False
-        )
-    )
-    identical = _records(serial) == _records(packed)
-    return {
+
+    serial, serial_s = run("serial")
+    packed, packed_s = run("packed")
+    row = {
         "name": f"decoder_n{n_bits}_c{cycles}",
         "faults": len(faults),
         "cycles": cycles,
@@ -83,8 +111,17 @@ def bench_decoder(n_bits: int, cycles: int, seed: int) -> dict:
         "serial_faults_per_sec": round(len(faults) / serial_s, 1),
         "packed_faults_per_sec": round(len(faults) / packed_s, 1),
         "speedup": round(serial_s / packed_s, 1),
-        "identical": identical,
+        "identical": _records(serial) == _records(packed),
     }
+    if numpy_available():
+        vector, vector_s = run("vector")
+        row["vector_s"] = round(vector_s, 4)
+        row["vector_faults_per_sec"] = round(len(faults) / vector_s, 1)
+        row["vector_speedup"] = round(serial_s / vector_s, 1)
+        row["identical"] = row["identical"] and (
+            _records(serial) == _records(vector)
+        )
+    return row
 
 
 def bench_scheme(cycles: int, seed: int) -> dict:
@@ -94,10 +131,10 @@ def bench_scheme(cycles: int, seed: int) -> dict:
     def build():
         return SelfCheckingMemory.from_selection(org, select_code(10, 1e-9))
 
-    serial_memory, packed_memory = build(), build()
-    row_faults = decoder_fault_list(serial_memory.row)
+    probe = build()
+    row_faults = decoder_fault_list(probe.row)
     column_faults = sample_faults(
-        decoder_fault_list(serial_memory.column), 12, seed=seed
+        decoder_fault_list(probe.column), 12, seed=seed
     )
     memory_faults = [
         CellStuckAt(5, 1, 1), CellStuckAt(40, 0, 0), DataLineStuckAt(3, 1),
@@ -105,25 +142,28 @@ def bench_scheme(cycles: int, seed: int) -> dict:
     addresses = Workload.uniform(1 << org.n, cycles, seed=seed).address_list()
     total = len(row_faults) + len(column_faults) + len(memory_faults)
 
-    serial, serial_s = _timed(
-        lambda: scheme_campaign(
-            serial_memory, addresses, row_faults=row_faults,
-            column_faults=column_faults, memory_faults=memory_faults,
-            engine="serial",
+    def run(engine):
+        # a fresh memory per engine (built outside the timed region):
+        # campaigns stream reads through its fault hooks
+        memory = build()
+        return _timed(
+            lambda: scheme_campaign(
+                memory, addresses, row_faults=row_faults,
+                column_faults=column_faults, memory_faults=memory_faults,
+                engine=engine,
+            ),
+            repeats=5,
         )
-    )
-    packed, packed_s = _timed(
-        lambda: scheme_campaign(
-            packed_memory, addresses, row_faults=row_faults,
-            column_faults=column_faults, memory_faults=memory_faults,
-        )
-    )
-    identical = [
-        (str(r.fault), r.kind, r.first_detection) for r in serial.records
-    ] == [
-        (str(r.fault), r.kind, r.first_detection) for r in packed.records
-    ]
-    return {
+
+    def key(result):
+        return [
+            (str(r.fault), r.kind, r.first_detection)
+            for r in result.records
+        ]
+
+    serial, serial_s = run("serial")
+    packed, packed_s = run("packed")
+    row = {
         "name": f"scheme_64x8_c{cycles}",
         "faults": total,
         "cycles": cycles,
@@ -132,7 +172,70 @@ def bench_scheme(cycles: int, seed: int) -> dict:
         "serial_faults_per_sec": round(total / serial_s, 1),
         "packed_faults_per_sec": round(total / packed_s, 1),
         "speedup": round(serial_s / packed_s, 1),
-        "identical": identical,
+        "identical": key(serial) == key(packed),
+    }
+    if numpy_available():
+        vector, vector_s = run("vector")
+        row["vector_s"] = round(vector_s, 4)
+        row["vector_faults_per_sec"] = round(total / vector_s, 1)
+        row["vector_speedup"] = round(serial_s / vector_s, 1)
+        row["identical"] = row["identical"] and (
+            key(serial) == key(vector)
+        )
+    return row
+
+
+def bench_scheme_c1m(cycles: int = 1_000_000, seed: int = 17) -> dict:
+    """Million-cycle scheme campaign, vector vs packed (serial would
+    take hours here, so the packed engine — itself a proven oracle — is
+    the baseline).  The vector engine streams the address trace through
+    its default 8192-lane windows, so peak memory stays bounded no
+    matter the cycle count."""
+    org = MemoryOrganization(64, 8, column_mux=4)
+
+    def build():
+        return SelfCheckingMemory.from_selection(org, select_code(10, 1e-9))
+
+    # a handful of faults: the packed baseline walks every 64-cycle
+    # word per fault, so the fault count (not the vector engine) bounds
+    # this bench's wall time
+    probe = build()
+    row_faults = sample_faults(decoder_fault_list(probe.row), 3, seed=seed)
+    column_faults = sample_faults(
+        decoder_fault_list(probe.column), 2, seed=seed
+    )
+    memory_faults = [CellStuckAt(9, 2, 1)]
+    addresses = Workload.uniform(1 << org.n, cycles, seed=seed).address_list()
+    total = len(row_faults) + len(column_faults) + len(memory_faults)
+
+    def run(engine):
+        memory = build()
+        return _timed(
+            lambda: scheme_campaign(
+                memory, addresses, row_faults=row_faults,
+                column_faults=column_faults, memory_faults=memory_faults,
+                engine=engine,
+            )
+        )
+
+    def key(result):
+        return [
+            (str(r.fault), r.kind, r.first_detection)
+            for r in result.records
+        ]
+
+    packed, packed_s = run("packed")
+    vector, vector_s = run("vector")
+    return {
+        "name": "scheme_vector_64x8_c1m",
+        "faults": total,
+        "cycles": cycles,
+        "packed_s": round(packed_s, 4),
+        "vector_s": round(vector_s, 4),
+        "packed_faults_per_sec": round(total / packed_s, 1),
+        "vector_faults_per_sec": round(total / vector_s, 1),
+        "vector_speedup": round(packed_s / vector_s, 2),
+        "identical": key(packed) == key(vector),
     }
 
 
@@ -140,7 +243,8 @@ def bench_transient(words: int, cycles: int, seed: int) -> dict:
     """Transient-upset campaign on a scrubbed workload: the 1.3 packed
     lane-mask backend vs the per-cycle serial oracle (one upset per
     pair of addresses, parity-protected RAM, n = log2(words) address
-    bits)."""
+    bits).  engine="vector" routes transients through the same packed
+    lane algebra, so there is no separate vector column here."""
     org = MemoryOrganization(words, 8, column_mux=8)
     scenarios = [
         TransientScenario.single(
@@ -158,7 +262,8 @@ def bench_transient(words: int, cycles: int, seed: int) -> dict:
     packed, packed_s = _timed(
         lambda: CampaignEngine(engine="packed").transient(
             BehavioralRAM(org), scenarios, workload
-        )
+        ),
+        repeats=3,
     )
     identical = _records(serial) == _records(packed)
     total = len(scenarios)
@@ -177,14 +282,24 @@ def bench_transient(words: int, cycles: int, seed: int) -> dict:
 
 
 def bench_latency_experiment(n_bits: int, cycles: int) -> dict:
-    """The X1 empirical-latency experiment end to end on both engines."""
-    serial = run_latency_experiment(
-        n_bits=n_bits, cycles=cycles, seed=1, engine="serial"
-    )
-    packed = run_latency_experiment(
-        n_bits=n_bits, cycles=cycles, seed=1, engine="packed"
-    )
-    return {
+    """The X1 empirical-latency experiment end to end on every engine."""
+
+    def run(engine):
+        # best of 3: the experiment records its own wall time, so pick
+        # the least-noisy run (same rationale as _timed's repeats)
+        return min(
+            (
+                run_latency_experiment(
+                    n_bits=n_bits, cycles=cycles, seed=1, engine=engine
+                )
+                for _ in range(3)
+            ),
+            key=lambda r: r.wall_time_s,
+        )
+
+    serial = run("serial")
+    packed = run("packed")
+    row = {
         "name": f"latency_empirical_n{n_bits}_c{cycles}",
         "faults": packed.faults,
         "cycles": cycles,
@@ -196,6 +311,40 @@ def bench_latency_experiment(n_bits: int, cycles: int) -> dict:
         "identical": serial.curve == packed.curve
         and serial.coverage == packed.coverage,
     }
+    if numpy_available():
+        vector = run("vector")
+        row["vector_s"] = round(vector.wall_time_s, 4)
+        row["vector_faults_per_sec"] = round(vector.faults_per_sec, 1)
+        row["vector_speedup"] = round(
+            serial.wall_time_s / vector.wall_time_s, 1
+        )
+        row["identical"] = row["identical"] and (
+            serial.curve == vector.curve
+            and serial.coverage == vector.coverage
+        )
+    return row
+
+
+def _check_floors(benches, check_speedup) -> int:
+    """Apply the per-bench speedup floors; returns the number of
+    violations (0 = all clear).  Earlier revisions gated only the first
+    bench — every floor is now enforced by name."""
+    by_name = {b["name"]: b for b in benches}
+    floors = [("decoder_n6_c512", "speedup", check_speedup)]
+    floors += list(FLOORS)
+    failures = 0
+    for name, column, floor in floors:
+        bench = by_name.get(name)
+        if bench is None or column not in bench:
+            continue  # NumPy-free run: vector floors don't apply
+        if bench[column] < floor:
+            print(
+                f"FAIL: {name} {column} x{bench[column]} below the "
+                f"required x{floor:g}",
+                file=sys.stderr,
+            )
+            failures += 1
+    return failures
 
 
 def main(argv=None) -> int:
@@ -209,8 +358,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check-speedup", type=float, default=None, metavar="X",
-        help="fail unless the 6-bit decoder bench clears X (local gating;"
-        " CI only checks bit-identity to stay robust on shared runners)",
+        help="fail unless the 6-bit decoder packed bench clears X and "
+        "every FLOORS entry holds (local gating; CI only checks "
+        "bit-identity to stay robust on shared runners)",
     )
     args = parser.parse_args(argv)
 
@@ -221,9 +371,15 @@ def main(argv=None) -> int:
         bench_latency_experiment(n_bits=5, cycles=150),
         bench_transient(words=256, cycles=3000, seed=9),
     ]
+    if numpy_available():
+        benches.append(bench_scheme_c1m())
+    else:
+        print("numpy not importable: vector columns and the c1m bench "
+              "are skipped")
     payload = {
         "bench": "campaign_engines",
         "version": __version__,
+        "numpy": numpy_available(),
         "benches": benches,
     }
     with open(args.out, "w") as handle:
@@ -242,10 +398,20 @@ def main(argv=None) -> int:
     width = max(len(b["name"]) for b in benches)
     for b in benches:
         flag = "ok " if b["identical"] else "MISMATCH"
+        base = (
+            f"serial {b['serial_s']*1e3:8.1f} ms"
+            if "serial_s" in b else "serial        --"
+        )
+        vector = (
+            f"  vector {b['vector_s']*1e3:7.1f} ms"
+            f" x{b['vector_speedup']:<6g}"
+            if "vector_s" in b else ""
+        )
+        speedup = f" x{b['speedup']:<6g}" if "speedup" in b else ""
         print(
             f"{b['name']:<{width}}  {b['faults']:>4} faults x "
-            f"{b['cycles']:>4} cycles  serial {b['serial_s']*1e3:8.1f} ms"
-            f"  packed {b['packed_s']*1e3:7.1f} ms  x{b['speedup']:<6g}"
+            f"{b['cycles']:>7} cycles  {base}"
+            f"  packed {b['packed_s']*1e3:7.1f} ms{speedup}{vector}"
             f" [{flag}]"
         )
     print(f"wrote {args.out}")
@@ -254,29 +420,12 @@ def main(argv=None) -> int:
 
     if not all(b["identical"] for b in benches):
         print(
-            "FAIL: packed engine diverged from the serial oracle",
+            "FAIL: a fast engine diverged from its reference oracle",
             file=sys.stderr,
         )
         return 1
     if args.check_speedup is not None:
-        target = benches[0]
-        if target["speedup"] < args.check_speedup:
-            print(
-                f"FAIL: {target['name']} speedup x{target['speedup']} "
-                f"below required x{args.check_speedup}",
-                file=sys.stderr,
-            )
-            return 1
-        # the 1.3 acceptance floor: packed transients >= 10x serial
-        transient = next(
-            b for b in benches if b["name"].startswith("transient_")
-        )
-        if transient["speedup"] < 10:
-            print(
-                f"FAIL: {transient['name']} speedup x{transient['speedup']}"
-                f" below the required x10",
-                file=sys.stderr,
-            )
+        if _check_floors(benches, args.check_speedup):
             return 1
     return 0
 

@@ -48,7 +48,9 @@ Layer map
                    group_by/diff) + the content-addressed ResultStore
                    campaign cache
 ``repro.faultsim`` fault-injection campaigns: packed bit-parallel
-                   engine (default) + the serial reference oracle
+                   engine (default), the NumPy lane-array vector
+                   engine (``repro[vector]``) + the serial reference
+                   oracle
 ``repro.suite``    the batch layer: declarative SuiteSpec campaign
                    matrices, a pooled SuiteRunner with store-backed
                    resume, SuiteReport aggregation, the built-in
@@ -143,7 +145,7 @@ from repro.scenarios import (
 )
 from repro.service import CampaignService, ServiceClient
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

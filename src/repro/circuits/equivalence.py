@@ -113,19 +113,40 @@ def _full_fault_universe(circuit: Circuit) -> List[FaultBase]:
     return faults
 
 
+def _universe_keys(circuit: Circuit) -> List[Tuple]:
+    """Every net/pin fault key, both polarities — no fault objects.
+
+    The keys alone drive union-find; materialising
+    :func:`_full_fault_universe`'s objects is only needed when the
+    caller wants full classes back.
+    """
+    keys: List[Tuple] = []
+    for net in circuit.input_nets:
+        keys.append(("net", net, 0))
+        keys.append(("net", net, 1))
+    for gate in circuit.gates:
+        output = gate.output
+        keys.append(("net", output, 0))
+        keys.append(("net", output, 1))
+        for pin in range(len(gate.inputs)):
+            keys.append(("pin", gate.index, pin, 0))
+            keys.append(("pin", gate.index, pin, 1))
+    return keys
+
+
 def collapse_faults(
     circuit: Circuit, faults: Sequence[FaultBase] = None
 ) -> FaultClasses:
     """Partition the fault universe into structural equivalence classes.
 
-    When ``faults`` is given, only those faults are classified (classes
-    are intersected with the given set after collapsing over the full
-    universe, so equivalences through unlisted faults still merge).
+    When ``faults`` is given, only those faults are classified (the
+    union-find still runs over the full key universe, so equivalences
+    through unlisted faults still merge — but no universe fault objects
+    are materialised, which keeps per-campaign collapsing cheap).
     """
-    universe = _full_fault_universe(circuit)
     uf = _UnionFind()
-    for fault in universe:
-        uf.add(fault.key())
+    for key in _universe_keys(circuit):
+        uf.add(key)
 
     fanout: Dict[int, List[Tuple[int, int]]] = {}
     for gate in circuit.gates:
@@ -167,21 +188,20 @@ def collapse_faults(
                 )
 
     by_root: Dict[Tuple, List[FaultBase]] = {}
+    if faults is not None:
+        seen = set()
+        for fault in faults:
+            key = fault.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            by_root.setdefault(uf.find(key), []).append(fault)
+        return FaultClasses(list(by_root.values()), len(seen))
+
+    universe = _full_fault_universe(circuit)
     for fault in universe:
         by_root.setdefault(uf.find(fault.key()), []).append(fault)
-
-    if faults is not None:
-        wanted = {f.key() for f in faults}
-        classes = []
-        for members in by_root.values():
-            kept = [f for f in members if f.key() in wanted]
-            if kept:
-                classes.append(kept)
-        total = len(wanted)
-    else:
-        classes = list(by_root.values())
-        total = len(universe)
-    return FaultClasses(classes, total)
+    return FaultClasses(list(by_root.values()), len(universe))
 
 
 def representative_faults(circuit: Circuit) -> List[FaultBase]:

@@ -51,8 +51,12 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: campaign engine policies the CLI accepts (--engine)
+ENGINE_CHOICES = ("serial", "packed", "vector", "auto")
+
+
 def _validate_engine_args(args: argparse.Namespace) -> None:
-    """--workers only applies to the packed engine; refuse the combo
+    """--workers only applies to the parallel engines; refuse the combo
     (and nonsensical counts) rather than silently running
     single-process."""
     workers = getattr(args, "workers", None)
@@ -60,34 +64,48 @@ def _validate_engine_args(args: argparse.Namespace) -> None:
         raise ValueError(f"--workers must be >= 1, got {workers}")
     if getattr(args, "engine", "packed") == "serial" and workers is not None:
         raise ValueError(
-            "--workers requires the packed engine (drop --serial)"
+            "--workers requires the packed or vector engine "
+            "(drop --engine serial)"
         )
 
 
-def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    """--packed/--serial engine switch + --workers for campaign commands."""
-    group = parser.add_mutually_exclusive_group()
+def _add_engine_aliases(group, dest: str) -> None:
+    """Deprecated --packed/--serial aliases for --engine packed/serial."""
     group.add_argument(
         "--packed",
-        dest="engine",
+        dest=dest,
         action="store_const",
         const="packed",
-        default="packed",
-        help="bit-parallel campaign engine (default)",
+        help="deprecated alias for --engine packed",
     )
     group.add_argument(
         "--serial",
-        dest="engine",
+        dest=dest,
         action="store_const",
         const="serial",
-        help="per-cycle reference engine",
+        help="deprecated alias for --engine serial",
     )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """--engine policy switch + --workers for campaign commands."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="packed",
+        help="campaign engine: packed (bit-parallel, default), vector "
+        "(NumPy lane arrays, needs repro[vector]), serial (per-cycle "
+        "oracle), auto (vector when NumPy is importable)",
+    )
+    _add_engine_aliases(group, "engine")
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="shard the fault list over N processes (packed engine)",
+        help="shard the fault list over N processes "
+        "(packed/vector engines)",
     )
 
 
@@ -747,8 +765,9 @@ class ExperimentCommand:
     #: commands the generator takes (engine=, workers=) so the rows are
     #: produced by the engine the user selected
     rows_attr: Optional[str] = None
-    #: campaign-driven commands grow --packed/--serial and --workers
-    #: and report wall time + faults/sec under --json
+    #: campaign-driven commands grow --engine (plus the deprecated
+    #: --packed/--serial aliases) and --workers and report wall time +
+    #: faults/sec under --json
     engine_aware: bool = False
 
     def run(self, args: argparse.Namespace) -> int:
@@ -775,7 +794,10 @@ class ExperimentCommand:
                 "wall_time_s": round(wall, 6),
             }
             if self.engine_aware:
-                payload["engine"] = args.engine
+                from repro.faultsim.vectorsim import resolve_engine
+
+                # surface the engine that actually ran ("auto" resolves)
+                payload["engine"] = resolve_engine(args.engine)
                 payload["workers"] = args.workers
                 stats = getattr(module, "LAST_CAMPAIGN_STATS", None)
                 if stats:
@@ -1033,20 +1055,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_group = suite_run.add_mutually_exclusive_group()
     engine_group.add_argument(
-        "--packed",
+        "--engine",
         dest="engine_override",
-        action="store_const",
-        const="packed",
+        choices=ENGINE_CHOICES,
         default=None,
-        help="override every cell's policy to the packed engine",
+        help="override every cell's policy to this campaign engine",
     )
-    engine_group.add_argument(
-        "--serial",
-        dest="engine_override",
-        action="store_const",
-        const="serial",
-        help="override every cell's policy to the serial oracle",
-    )
+    _add_engine_aliases(engine_group, "engine_override")
     suite_run.add_argument(
         "--workers",
         type=int,
@@ -1162,18 +1177,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit_engine = submit.add_mutually_exclusive_group()
     submit_engine.add_argument(
-        "--packed",
+        "--engine",
         dest="engine_override",
-        action="store_const",
-        const="packed",
+        choices=ENGINE_CHOICES,
         default=None,
+        help="override every cell's policy to this campaign engine",
     )
-    submit_engine.add_argument(
-        "--serial",
-        dest="engine_override",
-        action="store_const",
-        const="serial",
-    )
+    _add_engine_aliases(submit_engine, "engine_override")
     submit.add_argument(
         "--no-cache",
         action="store_true",

@@ -1,11 +1,14 @@
 """Monte-Carlo fault-injection campaigns and their result statistics.
 
-Campaigns run on one of two engines (``engine=`` on the drivers):
+Campaigns run on one of three engines (``engine=`` on the drivers):
 ``"packed"`` — the default bit-parallel engine of
 :mod:`repro.faultsim.fastsim`, one netlist traversal per fault with
 structural fault collapsing and optional ``workers=N`` process-pool
-sharding — or ``"serial"``, the per-cycle reference oracle the packed
-engine is proven bit-identical against.
+sharding; ``"vector"`` — the NumPy lane-array engine of
+:mod:`repro.faultsim.vectorsim`, which packs the fault axis into lanes
+too (optional ``repro[vector]`` extra; ``"auto"`` selects it when NumPy
+is importable); or ``"serial"``, the per-cycle reference oracle both
+fast engines are proven bit-identical against.
 """
 
 from repro.faultsim.campaign import (
@@ -33,16 +36,28 @@ from repro.faultsim.transient import (
     scrubbed_stream,
     transient_campaign,
 )
+from repro.faultsim.vectorsim import (
+    CAMPAIGN_ENGINES,
+    decoder_campaign_vector,
+    numpy_available,
+    resolve_engine,
+    scheme_campaign_vector,
+)
 
 __all__ = [
     "TransientUpset",
     "TransientResult",
     "transient_campaign",
     "scrubbed_stream",
+    "CAMPAIGN_ENGINES",
+    "numpy_available",
+    "resolve_engine",
     "decoder_campaign",
     "decoder_campaign_packed",
+    "decoder_campaign_vector",
     "scheme_campaign",
     "scheme_campaign_packed",
+    "scheme_campaign_vector",
     "classify_structural_fault",
     "default_scheme_writer",
     "random_addresses",

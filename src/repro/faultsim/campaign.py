@@ -13,14 +13,21 @@ Both return :class:`~repro.faultsim.results.CampaignResult`, whose
 ``escape_fraction_at(c)`` is the empirical counterpart of the analytic
 ``Pndc`` — the X2 bench overlays the two.
 
-Two engines drive each campaign, selected with ``engine=``:
+Three engines drive each campaign, selected with ``engine=``:
 
 * ``"packed"`` (default) — the bit-parallel PPSFP-style engine of
   :mod:`repro.faultsim.fastsim`: one packed netlist traversal per
   simulated fault, collapsing on by default, optional ``workers=N``
   process pool;
+* ``"vector"`` — the NumPy lane-array engine of
+  :mod:`repro.faultsim.vectorsim`: the fault axis is packed into lanes
+  too, so the whole campaign is evaluated in a handful of array ops
+  (requires the optional ``repro[vector]`` extra);
 * ``"serial"`` — the original per-cycle loops below, kept as the
-  reference oracle the packed engine is proven bit-identical against.
+  reference oracle both fast engines are proven bit-identical against.
+
+``engine="auto"`` picks ``"vector"`` when NumPy is importable and falls
+back to ``"packed"`` otherwise.
 """
 
 from __future__ import annotations
@@ -29,10 +36,10 @@ from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.checkers.base import Checker
 from repro.circuits.faults import FaultBase, NetStuckAt
-from repro.circuits.simulator import check_engine
 from repro.core.scheme import SelfCheckingMemory
 from repro.decoder.analysis import analyze_decoder
 from repro.faultsim.results import CampaignResult, FaultRecord
+from repro.faultsim.vectorsim import resolve_engine
 from repro.memory.faults import MemoryFault
 from repro.rom.nor_matrix import CheckedDecoder
 
@@ -116,12 +123,27 @@ def decoder_campaign(
     used).  ``engine="packed"`` (default) simulates the whole stream in
     one netlist traversal per fault with collapsing (``collapse=False``
     disables it), optional process-pool sharding (``workers=N``) and
-    optional bounded-memory lane windows (``chunk=W``; packed only,
-    results invariant in W); ``engine="serial"`` runs the per-cycle
+    optional bounded-memory lane windows (``chunk=W``; results
+    invariant in W); ``engine="vector"`` additionally packs the fault
+    axis into NumPy lanes (``repro[vector]``; ``"auto"`` selects it
+    when NumPy is importable); ``engine="serial"`` runs the per-cycle
     reference loop.
     """
-    check_engine(engine)
+    engine = resolve_engine(engine)
     addresses = _address_stream(addresses)
+    if engine == "vector":
+        from repro.faultsim.vectorsim import decoder_campaign_vector
+
+        return decoder_campaign_vector(
+            checked,
+            checker,
+            faults,
+            addresses,
+            attach_analytic=attach_analytic,
+            collapse=collapse,
+            workers=workers,
+            chunk=chunk,
+        )
     if engine == "packed":
         from repro.faultsim.fastsim import decoder_campaign_packed
 
@@ -191,6 +213,7 @@ def scheme_campaign(
     engine: str = "packed",
     collapse: bool = True,
     workers: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> CampaignResult:
     """End-to-end campaign on the assembled scheme.
 
@@ -198,13 +221,29 @@ def scheme_campaign(
     :func:`default_scheme_writer`, an address-dependent pattern so decoder
     aliasing is observable in the data path too).
 
-    ``engine``/``collapse``/``workers`` select the packed fast path as in
-    :func:`decoder_campaign`; ``engine="serial"`` is the per-cycle
-    reference oracle.  ``addresses`` accepts a bare sequence or a
-    :class:`repro.scenarios.Workload`.
+    ``engine``/``collapse``/``workers`` select a fast path as in
+    :func:`decoder_campaign` (``"vector"`` evaluates the whole collapsed
+    fault list per cycle window in one NumPy traversal and honours
+    ``chunk=W`` bounded-memory windows); ``engine="serial"`` is the
+    per-cycle reference oracle.  ``addresses`` accepts a bare sequence
+    or a :class:`repro.scenarios.Workload`.
     """
-    check_engine(engine)
+    engine = resolve_engine(engine)
     addresses = _address_stream(addresses)
+    if engine == "vector":
+        from repro.faultsim.vectorsim import scheme_campaign_vector
+
+        return scheme_campaign_vector(
+            memory,
+            addresses,
+            row_faults=row_faults,
+            column_faults=column_faults,
+            memory_faults=memory_faults,
+            writer=writer,
+            collapse=collapse,
+            workers=workers,
+            chunk=chunk,
+        )
     if engine == "packed":
         from repro.faultsim.fastsim import scheme_campaign_packed
 

@@ -48,7 +48,7 @@ from repro.faultsim.fastsim import _map_jobs
 from repro.faultsim.results import CampaignResult, FaultRecord
 from repro.faultsim.transient import TransientUpset
 from repro.circuits.parallel import first_set_lane
-from repro.circuits.simulator import check_engine
+from repro.faultsim.vectorsim import resolve_engine
 from repro.results import (
     Provenance,
     ResultStore,
@@ -546,16 +546,23 @@ class CampaignEngine:
     :class:`~repro.scenarios.workload.Workload` /
     :class:`~repro.scenarios.faults.FaultScenario` vocabulary:
 
-    * ``engine`` — ``"packed"`` fast path / ``"serial"`` bit-identity
-      oracle (every method);
+    * ``engine`` — ``"packed"`` fast path, ``"vector"`` NumPy
+      lane-array engine (optional ``repro[vector]`` extra), or
+      ``"serial"`` bit-identity oracle; ``"auto"`` resolves to
+      ``"vector"`` when NumPy is importable and falls back to
+      ``"packed"`` otherwise (resolution happens here, at
+      construction, so the stamped provenance names the engine that
+      actually ran).  :meth:`transient` and :meth:`march` route
+      ``"vector"`` through the packed lane algebra — their hot path is
+      already whole-word, and results stay engine-invariant;
     * ``workers`` — process-pool sharding of the scenario list (every
       method);
     * ``collapse`` — structural equivalence classes (:meth:`decoder`
       and :meth:`scheme`, where structural faults occur);
-    * ``chunk`` — bounded-memory packed lane windows (:meth:`decoder`
-      and :meth:`transient`, the streaming backends; :meth:`scheme`
-      and :meth:`march` ignore it — their packed paths are already
-      bounded by the address space / the compiled march length).
+    * ``chunk`` — bounded-memory lane windows (:meth:`decoder` and
+      :meth:`transient`, plus :meth:`scheme` under the vector engine,
+      the streaming backends; :meth:`march` ignores it — its packed
+      path is already bounded by the compiled march length).
 
     Since 1.4 the engine also carries the **artifact policy**:
 
@@ -584,7 +591,7 @@ class CampaignEngine:
         store: Optional[Union[ResultStore, str]] = None,
         cache: bool = True,
     ):
-        check_engine(engine)
+        engine = resolve_engine(engine)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk is not None and chunk < 1:
@@ -897,6 +904,7 @@ class CampaignEngine:
                 engine=self.engine,
                 collapse=self.collapse,
                 workers=self.workers,
+                chunk=self.chunk,
             )
 
         def material():

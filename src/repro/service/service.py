@@ -28,6 +28,7 @@ import threading
 from concurrent import futures
 from typing import Dict, List, Optional, Union
 
+from repro.faultsim.vectorsim import CAMPAIGN_ENGINES
 from repro.results import ResultStore
 from repro.service.jobs import JobQueue, JobRecord, JobStateError
 from repro.suite.runner import SuiteRunner
@@ -51,9 +52,9 @@ def _validate_options(options: dict) -> dict:
     ):
         raise ValueError(f"workers must be an int >= 1, got {workers!r}")
     engine = options.get("engine")
-    if engine is not None and engine not in ("packed", "serial"):
+    if engine is not None and engine not in CAMPAIGN_ENGINES:
         raise ValueError(
-            f"engine must be 'packed' or 'serial', got {engine!r}"
+            f"engine must be one of {CAMPAIGN_ENGINES}, got {engine!r}"
         )
     only = options.get("only")
     if only is not None and only not in FAMILIES:

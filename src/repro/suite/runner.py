@@ -342,7 +342,10 @@ class SuiteRunner:
         """Execute the suite and aggregate a :class:`SuiteReport`.
 
         ``only`` filters cells to one family; ``engine`` overrides
-        every cell's engine policy (the CLI's ``--packed/--serial``).
+        every cell's engine policy (the CLI's ``--engine``, any of
+        ``serial|packed|vector|auto``) — cell ids stay stable because
+        the override is applied after expansion, not in the policy
+        label.
         Outcomes keep the suite's cell order regardless of pool
         completion order.
         """

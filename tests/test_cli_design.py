@@ -82,7 +82,7 @@ class TestCampaignSubcommands:
 
     def test_workers_with_serial_rejected(self, capsys):
         assert main(["transient", "--serial", "--workers", "2"]) == 1
-        assert "--workers requires the packed engine" in (
+        assert "--workers requires the packed or vector engine" in (
             capsys.readouterr().err
         )
 

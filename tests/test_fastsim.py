@@ -506,6 +506,6 @@ class TestCampaignCLI:
         from repro.cli import main
 
         assert main(["latency", "--serial", "--workers", "2"]) == 1
-        assert "--workers requires the packed engine" in (
+        assert "--workers requires the packed or vector engine" in (
             capsys.readouterr().err
         )
