@@ -1,0 +1,131 @@
+"""Static-analysis benchmark: lint wall time -> BENCH_analysis.json.
+
+Times ``repro.analysis.analyze`` over the paper's three RAM designs
+(the full composition: design rules + netlist rules on both decoder
+circuits + decoder rules + TSC checker proofs) and over the built-in
+``paper_grid`` suite spec, asserting every target lints in under the
+2 s budget with zero findings.  The payload is written once per run and
+appended to a persistent history trajectory, so the analyzer's cost is
+tracked commit over commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py [--out PATH]
+        [--budget SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import __version__
+from repro.analysis import analyze
+from repro.design.spec import DesignSpec
+from repro.memory.organization import PAPER_ORGS
+from repro.suite import builtin_suite
+
+
+def bench_design(org) -> dict:
+    spec = DesignSpec(
+        words=org.words, bits=org.bits, column_mux=org.column_mux
+    )
+    start = time.perf_counter()
+    report = analyze(spec)
+    wall_s = time.perf_counter() - start
+    return {
+        "name": f"lint_{org.label()}",
+        "kind": "design",
+        "rules_run": len(report.rules_run),
+        "findings": len(report.findings),
+        "skipped": len(report.skipped),
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def bench_suite(name: str) -> dict:
+    suite = builtin_suite(name)
+    start = time.perf_counter()
+    report = analyze(suite)
+    wall_s = time.perf_counter() - start
+    return {
+        "name": f"lint_suite_{name}",
+        "kind": "suite",
+        "cells": len(suite.cells()),
+        "rules_run": len(report.rules_run),
+        "findings": len(report.findings),
+        "skipped": len(report.skipped),
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_analysis.json")
+    parser.add_argument(
+        "--history", default="BENCH_analysis.history.jsonl",
+        metavar="PATH",
+        help="persistent trajectory: every run appends one JSON line "
+        "('' disables)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=2.0,
+        help="per-target wall-time ceiling in seconds (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    # the three paper RAMs, largest (64x8K, 1024-line row decoder) last
+    benches = [bench_design(org) for org in PAPER_ORGS]
+    benches.append(bench_suite("paper_grid"))
+    payload = {
+        "bench": "static_analysis",
+        "version": __version__,
+        "budget_s": args.budget,
+        "benches": benches,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    if args.history:
+        entry = dict(payload, timestamp=round(time.time(), 1))
+        with open(args.history, "a") as handle:
+            json.dump(
+                entry, handle, sort_keys=True, separators=(",", ":")
+            )
+            handle.write("\n")
+
+    failures = []
+    for bench in benches:
+        over = bench["wall_s"] > args.budget
+        dirty = bench["findings"] != 0
+        flag = "ok " if not (over or dirty) else "FAIL"
+        print(
+            f"{bench['name']:<22} {bench['rules_run']:>2} rules  "
+            f"{bench['findings']} finding(s)  "
+            f"{bench['skipped']} skip(s)  "
+            f"{bench['wall_s'] * 1e3:8.1f} ms [{flag}]"
+        )
+        if over:
+            failures.append(
+                f"{bench['name']} took {bench['wall_s']}s "
+                f"(budget {args.budget}s)"
+            )
+        if dirty:
+            failures.append(
+                f"{bench['name']} has {bench['findings']} finding(s)"
+            )
+    print(f"wrote {args.out}")
+    if args.history:
+        print(f"appended to {args.history}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,10 @@ Layer map
                    the suite runner and the shared store — persistent
                    JobQueue, CampaignService worker pool, stdlib
                    server + ServiceClient (``repro serve``)
+``repro.analysis`` the static layer: registry-driven design linter +
+                   TSC property prover — ``analyze(obj)`` over netlists,
+                   checkers, decoders, built memories and suite specs
+                   (``repro lint``)
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
 
@@ -98,8 +102,19 @@ Service quick path (1.6+)::
             job = client.wait(job["job_id"])
             # a re-submitted identical suite completes as verified
             # store hits — the simulator is never invoked
+
+Static-analysis quick path (1.8+)::
+
+    from repro import DesignSpec, analyze
+
+    report = analyze(DesignSpec(words=2048, bits=16))
+    assert report.ok                     # TSC properties proven, not sampled
+    print(report.render())               # ...or report.to_json()
+    # CLI: `repro lint 16x2K --strict`; build-time gate:
+    # `DesignEngine().build(spec, lint=True)` raises AnalysisError
 """
 
+from repro.analysis import AnalysisError, AnalysisReport, analyze
 from repro.area.model import PaperAreaModel
 from repro.area.stdcell import StdCellAreaModel
 from repro.codes.m_out_of_n import MOutOfNCode, maximal_code_for_width
@@ -145,10 +160,13 @@ from repro.scenarios import (
 )
 from repro.service import CampaignService, ServiceClient
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
+    "analyze",
+    "AnalysisReport",
+    "AnalysisError",
     "DesignSpec",
     "DesignEngine",
     "DesignReport",

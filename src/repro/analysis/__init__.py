@@ -1,0 +1,68 @@
+"""`repro.analysis` — static design linter & TSC property prover (1.8).
+
+Rule-based static analysis over the repo's three design artifacts:
+
+* **netlist rules** on :class:`~repro.circuits.netlist.Circuit` —
+  undriven/multi-driven nets, combinational cycles, dangling outputs,
+  unreachable cones, and the collapse-soundness audit;
+* **design rules** on built :class:`~repro.core.scheme.
+  SelfCheckingMemory` / checkers / checked decoders — width and
+  placement checks plus the brute-force (and, for parity trees, exact
+  symbolic) TSC proofs: code-disjoint, self-testing, fault-secure;
+* **suite rules** on :class:`~repro.suite.spec.SuiteSpec` — cells that
+  can never run, store-key collisions, provenance completeness.
+
+Entry points: :func:`analyze` (library), ``repro lint`` (CLI), and the
+opt-in ``lint=`` hooks on ``DesignEngine.build`` / ``SuiteRunner.run``.
+"""
+
+from repro.analysis.base import (
+    RULE_KINDS,
+    RULES,
+    Context,
+    LintOptions,
+    LintRule,
+    rule,
+    rules_for,
+)
+from repro.analysis.driver import analyze
+from repro.analysis.report import (
+    SEVERITIES,
+    AnalysisError,
+    AnalysisReport,
+    Finding,
+    Skip,
+)
+
+# import for registration side effects (each module registers its rules)
+from repro.analysis import netlist_rules  # noqa: E402  isort: skip
+from repro.analysis import design_rules  # noqa: E402  isort: skip
+from repro.analysis import suite_rules  # noqa: E402  isort: skip
+
+from repro.analysis.netlist_rules import (  # isort: skip
+    collapse_cone_violations,
+    fault_cone,
+    output_cones,
+)
+
+__all__ = [
+    "analyze",
+    "AnalysisReport",
+    "AnalysisError",
+    "Finding",
+    "Skip",
+    "SEVERITIES",
+    "RULES",
+    "RULE_KINDS",
+    "LintRule",
+    "LintOptions",
+    "Context",
+    "rule",
+    "rules_for",
+    "output_cones",
+    "fault_cone",
+    "collapse_cone_violations",
+    "netlist_rules",
+    "design_rules",
+    "suite_rules",
+]

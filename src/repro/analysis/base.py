@@ -1,0 +1,164 @@
+"""The analysis rule registry and per-run context.
+
+Rules follow the same ``Registry`` discipline as codes / checkers /
+populations: each rule registers under a stable id (``net-dangling``,
+``tsc-code-disjoint``, ...) with the artifact kind it applies to, a
+default severity, and a check callable.  ``analyze()`` selects the
+rules whose kind matches the artifact and runs them in registration
+order, which makes reports deterministic.
+
+A check callable has the signature ``check(obj, ctx, rule)`` and yields
+:class:`~repro.analysis.report.Finding` / :class:`~repro.analysis.
+report.Skip` instances — usually built through :meth:`LintRule.finding`
+/ :meth:`LintRule.skip` so ids and default severities stay in one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+from repro.analysis.report import SEVERITIES, Finding, Skip
+from repro.design.registry import Registry
+
+__all__ = ["RULES", "RULE_KINDS", "LintRule", "LintOptions", "Context", "rule"]
+
+#: artifact kinds a rule can apply to.  ``circuit`` rules see a
+#: ``circuits.netlist.Circuit``; ``checker`` rules a ``checkers.base.
+#: Checker`` (with the observed code on the context); ``decoder`` rules
+#: a ``rom.nor_matrix.CheckedDecoder``; ``design`` rules a built
+#: ``core.scheme.SelfCheckingMemory``; ``suite`` rules a
+#: ``suite.spec.SuiteSpec``.
+RULE_KINDS = ("circuit", "checker", "decoder", "design", "suite")
+
+#: the analysis-rule registry (plug in with ``@rule(...)`` or
+#: ``RULES.register``)
+RULES = Registry("analysis rule")
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Size cutoffs keeping static analysis cheap on Mb-scale targets.
+
+    A rule whose work would exceed a budget downgrades to a
+    :class:`Skip` with the numbers in the reason — never hangs, never
+    silently passes.
+    """
+
+    #: code-disjoint brute force scans 2^length inputs; skip above this
+    max_exhaustive_bits: int = 14
+    #: budget for fault x vector x gate products (self-testing /
+    #: fault-secure proofs)
+    max_property_cost: int = 4_000_000
+    #: code-word sample size for the sampled self-testing pre-pass
+    self_testing_sample: int = 64
+    #: addresses checked per mapping by the placement rule
+    placement_sample: int = 4096
+
+
+@dataclass(frozen=True)
+class Context:
+    """Everything a rule may need beyond the artifact itself."""
+
+    options: LintOptions = field(default_factory=LintOptions)
+    #: location prefix for findings ("row checker", "column decoder")
+    location: str = ""
+    #: the code a checker observes (overrides derivation)
+    code: Optional[object] = None
+
+    def at(self, location: str, code: Optional[object] = None) -> "Context":
+        """A sub-context for a nested artifact (prefixes locations)."""
+        prefix = f"{self.location}: {location}" if self.location else location
+        return replace(self, location=prefix, code=code)
+
+    def loc(self, detail: str = "") -> str:
+        """A finding location under this context's prefix."""
+        if not detail:
+            return self.location or "target"
+        return f"{self.location}: {detail}" if self.location else detail
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, applicability, and the check."""
+
+    id: str
+    kind: str
+    severity: str
+    summary: str
+    check: Callable[..., Iterable[Union[Finding, Skip]]]
+
+    def __post_init__(self):
+        if self.kind not in RULE_KINDS:
+            raise ValueError(
+                f"rule {self.id!r}: unknown kind {self.kind!r}; "
+                f"known: {RULE_KINDS}"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {self.id!r}: unknown severity {self.severity!r}; "
+                f"known: {SEVERITIES}"
+            )
+
+    # -- finding/skip constructors (keep ids + severities in one place) ------
+
+    def finding(
+        self,
+        location: str,
+        message: str,
+        hint: str = "",
+        counterexample: Optional[dict] = None,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            location=location,
+            message=message,
+            hint=hint,
+            counterexample=counterexample,
+        )
+
+    def skip(self, location: str, reason: str) -> Skip:
+        return Skip(rule=self.id, location=location, reason=reason)
+
+
+def rule(
+    rule_id: str, kind: str, severity: str = "error", summary: str = ""
+) -> Callable:
+    """Register a check function as an analysis rule.
+
+    >>> @rule("demo-rule", "circuit", severity="info", summary="demo")
+    ... def _check_demo(circuit, ctx, rule):
+    ...     return []
+    >>> RULES.get("demo-rule").kind
+    'circuit'
+    >>> RULES.unregister("demo-rule")
+    """
+
+    def decorate(check: Callable) -> Callable:
+        doc = (check.__doc__ or "").strip().splitlines()
+        RULES.register(
+            rule_id,
+            LintRule(
+                id=rule_id,
+                kind=kind,
+                severity=severity,
+                summary=summary or (doc[0] if doc else rule_id),
+                check=check,
+            ),
+        )
+        return check
+
+    return decorate
+
+
+def rules_for(kind: str) -> Tuple[LintRule, ...]:
+    """Registered rules applying to one artifact kind, in registration
+    order."""
+    return tuple(
+        RULES.get(name)
+        for name in RULES.names()
+        if RULES.get(name).kind == kind
+    )

@@ -1,0 +1,637 @@
+"""TSC property proofs and design-level composition rules.
+
+Three artifact kinds plug in here:
+
+* **checker** rules prove (or refute, with a concrete code-word witness)
+  the §I checker properties: ``tsc-code-disjoint`` and
+  ``tsc-self-testing``.  Proofs are exact, never statistical, via three
+  strategies in order of preference — a symbolic GF(2) *affine* proof
+  for XOR-tree checkers (any width, O(gates)), exhaustive brute force
+  under a size cutoff, and a sampled pre-pass whose positive answers
+  are still exact (detection by a word subset implies detection by the
+  full set).  Anything else downgrades to a skip with the numbers.
+* **decoder** rules check a :class:`~repro.rom.nor_matrix.
+  CheckedDecoder`: the ROM realises exactly the mapping's programming
+  (``decoder-consistency``), and — for injective mappings, where the
+  paper promises zero escapes — the decoder+ROM block is fault-secure
+  for internal stuck-ats (``tsc-fault-secure``).  Non-injective
+  mappings alias by construction (the escape probability ~1/a *is* the
+  paper's subject), so there the rule records a skip, not a failure.
+* **design** rules check a built :class:`~repro.core.scheme.
+  SelfCheckingMemory`: checker/code width agreement, checker placement
+  (every emitted ROM word accepted, canonical stuck-at sentinels
+  rejected), and coverage of the three array segments.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.base import Context, LintRule, rule
+from repro.checkers.base import Checker, indication_valid
+from repro.checkers.berger_checker import BergerChecker
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.checkers.parity_checker import ParityChecker
+from repro.checkers.properties import undetected_checker_faults
+from repro.checkers.two_rail_checker import TwoRailChecker
+from repro.circuits.faults import enumerate_stuck_at_faults
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.parity import ParityCode
+from repro.codes.two_rail import TwoRailCode
+from repro.core.scheme import SelfCheckingMemory
+from repro.rom.nor_matrix import CheckedDecoder
+from repro.utils.bitops import all_bit_vectors
+
+__all__ = ["derive_code", "realization"]
+
+#: gates that are affine over GF(2) (output = XOR of inputs + constant)
+_AFFINE_GATES = {
+    GateType.BUF,
+    GateType.NOT,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.CONST0,
+    GateType.CONST1,
+}
+
+
+# -- code and circuit derivation ---------------------------------------------
+
+
+def derive_code(checker: Checker, ctx: Context):
+    """The code a checker observes: explicit context, the checker's own
+    ``code`` attribute, or the code its class is parameterised by."""
+    if ctx.code is not None:
+        return ctx.code
+    code = getattr(checker, "code", None)
+    if code is not None:
+        return code
+    if isinstance(checker, MOutOfNChecker):
+        return MOutOfNCode(checker.m, checker.n)
+    if isinstance(checker, TwoRailChecker):
+        return TwoRailCode(checker.pairs)
+    if isinstance(checker, ParityChecker):
+        return ParityCode(checker.input_width - 1, even=checker.even)
+    return None
+
+
+def realization(checker: Checker) -> Tuple[Optional[Circuit], str]:
+    """A gate-level circuit realising a checker, for fault injection.
+
+    Behavioural m-out-of-n checkers (the design default) get a
+    structural twin built on demand — the proof then covers the circuit
+    a silicon implementation would use.  Returns ``(None, reason)``
+    when no realisation is known.
+    """
+    circuit = getattr(checker, "circuit", None)
+    if circuit is not None:
+        return circuit, ""
+    if isinstance(checker, MOutOfNChecker):
+        twin = MOutOfNChecker(checker.m, checker.n, structural=True)
+        return twin.circuit, "structural twin"
+    return (
+        None,
+        f"{type(checker).__name__} is behavioural with no structural "
+        "realisation registered",
+    )
+
+
+# -- the affine (GF(2)-symbolic) fast path -----------------------------------
+
+
+def _affine_forms(circuit: Circuit) -> Optional[List[Tuple[int, int]]]:
+    """Per-net ``(mask, const)`` with net = mask·x ⊕ const over the
+    primary inputs, or None if any gate is non-affine."""
+    forms: List[Tuple[int, int]] = [(0, 0)] * circuit.num_nets
+    for i, net in enumerate(circuit.input_nets):
+        forms[net] = (1 << i, 0)
+    for gate in circuit.gates:
+        gtype = gate.gate_type
+        if gtype not in _AFFINE_GATES:
+            return None
+        if gtype is GateType.CONST0:
+            forms[gate.output] = (0, 0)
+        elif gtype is GateType.CONST1:
+            forms[gate.output] = (0, 1)
+        else:
+            mask = const = 0
+            for src in gate.inputs:
+                src_mask, src_const = forms[src]
+                mask ^= src_mask
+                const ^= src_const
+            if gtype in (GateType.NOT, GateType.XNOR):
+                const ^= 1
+            forms[gate.output] = (mask, const)
+    return forms
+
+
+def _affine_sensitivity(circuit: Circuit) -> List[Tuple[int, int]]:
+    """Per net ``(s1, s2)``: flipping the net flips output rail k iff
+    ``sk`` is 1 (affine circuits propagate flips with parity)."""
+    sens: List[List[int]] = [[0, 0] for _ in range(circuit.num_nets)]
+    for k, out in enumerate(circuit.output_nets[:2]):
+        sens[out][k] ^= 1
+    for gate in reversed(circuit.gates):
+        s1, s2 = sens[gate.output]
+        if not (s1 or s2):
+            continue
+        for src in gate.inputs:
+            sens[src][0] ^= s1
+            sens[src][1] ^= s2
+    return [(s[0], s[1]) for s in sens]
+
+
+def _affine_code_form(code) -> Optional[Tuple[int, int]]:
+    """``(mask, const)`` with ``is_codeword(x) ⟺ mask·x == const``, for
+    codes that are affine subspaces of the word space."""
+    if isinstance(code, ParityCode):
+        return (1 << code.length) - 1, 0 if code.even else 1
+    return None
+
+
+def _word_from_int(value: int, length: int) -> Tuple[int, ...]:
+    """Bit i of ``value`` becomes word position i (the circuit-input
+    convention of the affine masks)."""
+    return tuple((value >> i) & 1 for i in range(length))
+
+
+# -- checker rules ------------------------------------------------------------
+
+
+def _width_mismatch(checker, code, ctx: Context, rule: LintRule):
+    if checker.input_width != code.length:
+        return rule.finding(
+            ctx.loc(),
+            f"checker observes {checker.input_width} bits but the code's "
+            f"words are {code.length} bits wide",
+            hint="size the checker from the mapping's rom_width",
+        )
+    return None
+
+
+@rule(
+    "tsc-code-disjoint",
+    "checker",
+    severity="error",
+    summary="checker accepts exactly the code words (code-disjoint)",
+)
+def _check_code_disjoint(
+    checker: Checker, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    code = derive_code(checker, ctx)
+    if code is None:
+        yield rule.skip(
+            ctx.loc(), "cannot derive the observed code for this checker"
+        )
+        return
+    mismatch = _width_mismatch(checker, code, ctx, rule)
+    if mismatch is not None:
+        yield mismatch
+        return
+
+    # exact symbolic proof for XOR-tree checkers over parity-type codes
+    circuit = getattr(checker, "circuit", None)
+    code_form = _affine_code_form(code)
+    if circuit is not None and code_form is not None:
+        forms = _affine_forms(circuit)
+        if forms is not None and len(circuit.output_nets) == 2:
+            mask1, const1 = forms[circuit.output_nets[0]]
+            mask2, const2 = forms[circuit.output_nets[1]]
+            code_mask, code_const = code_form
+            # valid(x) = z1 ⊕ z2 must equal codeword(x) = 1 ⊕ mask·x
+            # ⊕ const; their XOR is mask_diff·x ⊕ const_diff
+            mask_diff = mask1 ^ mask2 ^ code_mask
+            const_diff = const1 ^ const2 ^ code_const ^ 1
+            if mask_diff == 0 and const_diff == 0:
+                return  # proven for every input vector, any width
+            witness_int = (
+                0 if const_diff else (mask_diff & -mask_diff)
+            )
+            witness = _word_from_int(witness_int, code.length)
+            indication = tuple(checker.indication(witness))
+            yield rule.finding(
+                ctx.loc(),
+                "checker disagrees with the code on at least one word "
+                "(symbolic GF(2) refutation)",
+                counterexample={
+                    "word": list(witness),
+                    "indication": list(indication),
+                    "is_codeword": code.is_codeword(witness),
+                },
+            )
+            return
+
+    if code.length > ctx.options.max_exhaustive_bits:
+        yield rule.skip(
+            ctx.loc(),
+            f"exhaustive check needs 2^{code.length} input vectors "
+            f"(cutoff 2^{ctx.options.max_exhaustive_bits}); no affine "
+            "shortcut applies",
+        )
+        return
+    reported = 0
+    for vec in all_bit_vectors(code.length):
+        indication = tuple(checker.indication(vec))
+        valid = indication_valid(indication)
+        if valid != code.is_codeword(vec):
+            yield rule.finding(
+                ctx.loc(),
+                (
+                    "checker accepts a non-code word"
+                    if valid
+                    else "checker rejects a code word"
+                ),
+                counterexample={
+                    "word": list(vec),
+                    "indication": list(indication),
+                    "is_codeword": code.is_codeword(vec),
+                },
+            )
+            reported += 1
+            if reported >= 5:
+                yield rule.skip(
+                    ctx.loc(),
+                    "more misclassified words exist; reporting stopped "
+                    "after 5 counterexamples",
+                )
+                return
+
+
+def _sample_code_words(
+    code, cap: int
+) -> Tuple[List[tuple], Optional[List[tuple]]]:
+    """(sample, full word list or None when too large to materialise).
+
+    Detection by any subset of code words is conclusive in the positive
+    direction, so the sample only needs to be deterministic and spread.
+    """
+    cardinality = code.cardinality()
+    if cardinality <= 4096:
+        words = [tuple(w) for w in code.words()]
+        if len(words) <= cap:
+            return words, words
+        step = max(1, len(words) // cap)
+        return words[::step][:cap], words
+    if hasattr(code, "word_at"):
+        step = max(1, cardinality // cap)
+        return (
+            [tuple(code.word_at(i)) for i in range(0, cardinality, step)][
+                :cap
+            ],
+            None,
+        )
+    return [tuple(w) for w in islice(code.words(), cap)], None
+
+
+@rule(
+    "tsc-self-testing",
+    "checker",
+    severity="error",
+    summary="every internal stuck-at is signalled by some code word",
+)
+def _check_self_testing(
+    checker: Checker, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    code = derive_code(checker, ctx)
+    if code is None:
+        yield rule.skip(
+            ctx.loc(), "cannot derive the observed code for this checker"
+        )
+        return
+    mismatch = _width_mismatch(checker, code, ctx, rule)
+    if mismatch is not None:
+        yield mismatch
+        return
+    circuit, reason = realization(checker)
+    if circuit is None:
+        yield rule.skip(ctx.loc(), reason)
+        return
+    faults = enumerate_stuck_at_faults(circuit)
+
+    # symbolic proof: in an affine circuit a fault at (net, v) is
+    # detected iff the net can take value ¬v on the code space AND the
+    # flip lands on exactly one rail (both rails flipping keeps the
+    # indication valid)
+    code_form = _affine_code_form(code)
+    forms = _affine_forms(circuit) if code_form is not None else None
+    if forms is not None and len(circuit.output_nets) == 2:
+        sens = _affine_sensitivity(circuit)
+        code_mask, code_const = code_form
+        silent = 0
+        for fault in faults:
+            net, value = fault.key()[1], fault.key()[2]
+            s1, s2 = sens[net]
+            mask, const = forms[net]
+            if mask == 0:
+                reachable = {const}
+            elif mask == code_mask:
+                reachable = {code_const ^ const}
+            else:
+                reachable = {0, 1}
+            excitable = (1 - value) in reachable
+            if excitable and (s1 ^ s2) == 1:
+                continue  # detected: exactly one rail flips
+            if not excitable or (s1 | s2) == 0:
+                silent += 1  # faulty response == fault-free response
+                continue
+            yield rule.finding(
+                ctx.loc(),
+                "stuck-at fault flips both rails at once on some code "
+                "word — the indication stays valid, the fault stays "
+                "latent (symbolic GF(2) refutation)",
+                counterexample={"fault": list(fault.key())},
+            )
+        if silent:
+            yield rule.skip(
+                ctx.loc(),
+                f"{silent} structurally silent fault(s) excluded: the "
+                "faulty checker is indistinguishable from the fault-free "
+                "one on every code word (untestable redundancy)",
+            )
+        return
+
+    gates = max(circuit.num_gates, 1)
+    sample, full = _sample_code_words(
+        code, ctx.options.self_testing_sample
+    )
+    budget = ctx.options.max_property_cost
+    if len(faults) * len(sample) * gates > budget:
+        yield rule.skip(
+            ctx.loc(),
+            f"{len(faults)} faults x {len(sample)} words x {gates} gates "
+            f"exceeds the property budget ({budget})",
+        )
+        return
+    missed = undetected_checker_faults(circuit, sample, faults)
+    if not missed:
+        return  # detection by a subset proves detection by the full set
+    if full is not None and len(missed) * len(full) * gates <= budget:
+        golden = [tuple(circuit.evaluate(list(w))) for w in full]
+        silent = 0
+        for fault in undetected_checker_faults(circuit, full, missed):
+            witness = None
+            for word, good in zip(full, golden):
+                out = tuple(circuit.evaluate(list(word), faults=(fault,)))
+                if out != good:
+                    witness = (word, out)
+                    break
+            if witness is None:
+                # the fault never changes any code-word response: an
+                # untestable redundancy, not a self-testing violation
+                silent += 1
+                continue
+            yield rule.finding(
+                ctx.loc(),
+                f"stuck-at fault is never signalled by any of the "
+                f"{len(full)} code words but flips both rails on one — "
+                "the indication stays valid, the fault stays latent",
+                counterexample={
+                    "fault": list(fault.key()),
+                    "word": list(witness[0]),
+                    "indication": list(witness[1]),
+                },
+            )
+        if silent:
+            yield rule.skip(
+                ctx.loc(),
+                f"{silent} structurally silent fault(s) excluded: the "
+                "faulty checker is indistinguishable from the fault-free "
+                "one on every code word (untestable redundancy)",
+            )
+        return
+    yield rule.skip(
+        ctx.loc(),
+        f"{len(missed)} fault(s) undetected by a {len(sample)}-word "
+        "sample and the full code is too large to enumerate — "
+        "inconclusive",
+    )
+
+
+# -- decoder rules ------------------------------------------------------------
+
+
+@rule(
+    "decoder-consistency",
+    "decoder",
+    severity="error",
+    summary="the ROM realises exactly the mapping's programming",
+)
+def _check_decoder_consistency(
+    decoder: CheckedDecoder, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    table = decoder.mapping.table()
+    rows = decoder.matrix.rows
+    if len(rows) != len(table):
+        yield rule.finding(
+            ctx.loc(),
+            f"ROM has {len(rows)} programmed rows, mapping defines "
+            f"{len(table)}",
+        )
+        return
+    for address, (programmed, expected) in enumerate(zip(rows, table)):
+        if tuple(programmed) != tuple(expected):
+            yield rule.finding(
+                ctx.loc(f"address {address}"),
+                "ROM row disagrees with the mapping's code word",
+                counterexample={
+                    "address": address,
+                    "programmed": list(programmed),
+                    "expected": list(expected),
+                },
+            )
+            return
+    # spot-check the gate-level realisation on a stride of addresses
+    num_addresses = 1 << decoder.n
+    step = max(1, num_addresses // 64)
+    for address in range(0, num_addresses, step):
+        word = decoder.rom_word(address)
+        if tuple(word) != tuple(table[address]):
+            yield rule.finding(
+                ctx.loc(f"address {address}"),
+                "gate-level ROM output disagrees with the programmed row",
+                counterexample={
+                    "address": address,
+                    "evaluated": list(word),
+                    "programmed": list(table[address]),
+                },
+            )
+            return
+
+
+@rule(
+    "tsc-fault-secure",
+    "decoder",
+    severity="error",
+    summary="internal faults never yield an incorrect-but-code ROM word",
+)
+def _check_fault_secure(
+    decoder: CheckedDecoder, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    mapping = decoder.mapping
+    code = getattr(mapping, "code", None)
+    if code is None:
+        yield rule.skip(
+            ctx.loc(), "mapping carries no code to judge ROM words against"
+        )
+        return
+    num_addresses = 1 << mapping.n_bits
+    if mapping.num_words_used < num_addresses:
+        yield rule.skip(
+            ctx.loc(),
+            f"mapping aliases {num_addresses} lines onto "
+            f"{mapping.num_words_used} code words — escapes of "
+            "probability ~1/a are the paper's design point, covered by "
+            "the latency analysis, not fault-secureness",
+        )
+        return
+    circuit = decoder.circuit
+    faults = enumerate_stuck_at_faults(circuit, include_inputs=False)
+    cost = len(faults) * num_addresses * max(circuit.num_gates, 1)
+    if cost > ctx.options.max_property_cost:
+        yield rule.skip(
+            ctx.loc(),
+            f"{len(faults)} faults x {num_addresses} addresses x "
+            f"{circuit.num_gates} gates exceeds the property budget "
+            f"({ctx.options.max_property_cost})",
+        )
+        return
+    lines = 1 << decoder.n
+    golden = [tuple(decoder.rom_word(a)) for a in range(num_addresses)]
+    for fault in faults:
+        for address in range(num_addresses):
+            bits = [(address >> i) & 1 for i in range(decoder.n)]
+            outs = circuit.evaluate(bits, faults=(fault,))
+            word = tuple(outs[lines:])
+            if word != golden[address] and code.is_codeword(word):
+                yield rule.finding(
+                    ctx.loc(),
+                    "a single internal stuck-at produces an incorrect "
+                    "ROM word that is still a code word — the checker "
+                    "cannot see it",
+                    counterexample={
+                        "fault": list(fault.key()),
+                        "address": address,
+                        "output": list(word),
+                        "expected": list(golden[address]),
+                    },
+                )
+                return
+
+
+# -- design rules -------------------------------------------------------------
+
+
+def _axes(memory: SelfCheckingMemory):
+    return (
+        ("row", memory.row, memory.row_checker),
+        ("column", memory.column, memory.column_checker),
+    )
+
+
+@rule(
+    "design-checker-width",
+    "design",
+    severity="error",
+    summary="every checker's width matches what it observes",
+)
+def _check_design_widths(
+    memory: SelfCheckingMemory, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    for axis, decoder, checker in _axes(memory):
+        if checker.input_width != decoder.mapping.rom_width:
+            yield rule.finding(
+                ctx.loc(f"{axis} checker"),
+                f"checker observes {checker.input_width} bits but the "
+                f"{axis} ROM emits {decoder.mapping.rom_width}",
+                hint="build the checker from the mapping's rom_width",
+            )
+    word_width = memory.ram.word_width
+    if memory.parity_checker.input_width != word_width:
+        yield rule.finding(
+            ctx.loc("parity checker"),
+            f"checker observes {memory.parity_checker.input_width} bits "
+            f"but the data path carries {word_width}",
+        )
+
+
+@rule(
+    "design-placement",
+    "design",
+    severity="error",
+    summary="checkers accept every emitted ROM word and reject sentinels",
+)
+def _check_design_placement(
+    memory: SelfCheckingMemory, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    for axis, decoder, checker in _axes(memory):
+        mapping = decoder.mapping
+        if checker.input_width != mapping.rom_width:
+            continue  # design-checker-width already reports this
+        if hasattr(mapping, "words_emitted"):
+            words = mapping.words_emitted()
+        else:
+            num_addresses = 1 << mapping.n_bits
+            step = max(1, num_addresses // ctx.options.placement_sample)
+            words = {
+                tuple(mapping.codeword(a))
+                for a in range(0, num_addresses, step)
+            }
+        for word in words:
+            if not indication_valid(checker.indication(word)):
+                yield rule.finding(
+                    ctx.loc(f"{axis} checker"),
+                    "checker rejects a code word the mapping emits in "
+                    "fault-free operation",
+                    counterexample={"word": list(word)},
+                )
+                break
+        # the two canonical decoder-fault observations must be non-code:
+        # no line selected reads all-1s, merged distinct lines lose weight
+        width = mapping.rom_width
+        for sentinel, cause in (
+            ((1,) * width, "no word line selected (stuck-at-0)"),
+            ((0,) * width, "every ROM column discharged"),
+        ):
+            if indication_valid(checker.indication(sentinel)):
+                yield rule.finding(
+                    ctx.loc(f"{axis} checker"),
+                    f"checker accepts the {cause} sentinel — those "
+                    "decoder faults would never be detected",
+                    counterexample={"word": list(sentinel)},
+                )
+
+
+@rule(
+    "design-coverage",
+    "design",
+    severity="error",
+    summary="every array segment is observed by a checker",
+)
+def _check_design_coverage(
+    memory: SelfCheckingMemory, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    org = memory.organization
+    for axis, decoder, _checker in _axes(memory):
+        need = org.p if axis == "row" else org.s
+        if decoder.mapping.n_bits != need:
+            yield rule.finding(
+                ctx.loc(f"{axis} decoder"),
+                f"decoder covers {decoder.mapping.n_bits} address bits "
+                f"but the organization drives {need}",
+            )
+    if memory.ram.parity_code is None:
+        yield rule.finding(
+            ctx.loc("data path"),
+            "the array stores no check bits — data-path faults are "
+            "unobservable by any checker",
+            hint="build the RAM with with_parity=True",
+        )
+    elif memory.ram.word_width != org.bits + 1:
+        yield rule.finding(
+            ctx.loc("data path"),
+            f"array words are {memory.ram.word_width} bits, expected "
+            f"{org.bits} data + 1 parity",
+        )

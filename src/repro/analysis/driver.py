@@ -1,0 +1,158 @@
+"""``analyze(obj) -> AnalysisReport`` — the analyzer's front door.
+
+Dispatches on the artifact type and composes rule families: a built
+:class:`~repro.core.scheme.SelfCheckingMemory` runs the design rules
+plus, per axis, the netlist rules on the decoder circuit, the decoder
+rules on the checked decoder and the checker rules on the observing
+checker — every finding location-prefixed with the sub-artifact it came
+from.  A :class:`~repro.design.spec.DesignSpec` is built first (through
+the canonical :class:`~repro.design.engine.DesignEngine`), a
+:class:`~repro.suite.spec.MatrixBlock` is wrapped into a one-block
+suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.base import Context, LintOptions, rules_for
+from repro.analysis.report import AnalysisReport, Skip
+
+__all__ = ["analyze"]
+
+
+def _selector(
+    rules: Optional[Sequence[str]], skip: Sequence[str]
+):
+    only = None if rules is None else set(rules)
+    excluded = set(skip)
+
+    def selected(rule_id: str) -> bool:
+        if rule_id in excluded:
+            return False
+        return only is None or rule_id in only
+
+    return selected
+
+
+def _run_rules(
+    obj, kind: str, ctx: Context, report: AnalysisReport, selected
+) -> None:
+    ran: List[str] = list(report.rules_run)
+    for lint_rule in rules_for(kind):
+        if not selected(lint_rule.id):
+            continue
+        for item in lint_rule.check(obj, ctx, lint_rule):
+            if isinstance(item, Skip):
+                report.skipped.append(item)
+            else:
+                report.findings.append(item)
+        if lint_rule.id not in ran:
+            ran.append(lint_rule.id)
+    report.rules_run = tuple(ran)
+
+
+def _analyze_memory(
+    memory, ctx: Context, report: AnalysisReport, selected
+) -> None:
+    _run_rules(memory, "design", ctx, report, selected)
+    axes = (
+        ("row", memory.row, memory.row_checker),
+        ("column", memory.column, memory.column_checker),
+    )
+    for axis, decoder, checker in axes:
+        decoder_ctx = ctx.at(f"{axis} decoder")
+        _run_rules(
+            decoder.circuit, "circuit", decoder_ctx, report, selected
+        )
+        _run_rules(decoder, "decoder", decoder_ctx, report, selected)
+        code = getattr(decoder.mapping, "code", None)
+        _run_rules(
+            checker,
+            "checker",
+            ctx.at(f"{axis} checker", code=code),
+            report,
+            selected,
+        )
+    _run_rules(
+        memory.parity_checker,
+        "checker",
+        ctx.at("parity checker", code=memory.ram.parity_code),
+        report,
+        selected,
+    )
+
+
+def analyze(
+    obj,
+    rules: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+    code=None,
+    options: Optional[LintOptions] = None,
+) -> AnalysisReport:
+    """Statically analyze a design artifact.
+
+    ``obj`` may be a ``Circuit``, a ``Checker``, a ``CheckedDecoder``,
+    a built ``SelfCheckingMemory``, a ``DesignSpec`` (built first), a
+    ``SuiteSpec`` or a ``MatrixBlock``.  ``rules`` restricts to the
+    given rule ids, ``skip`` excludes ids, ``code`` pins the code a
+    standalone checker observes, ``options`` tunes the size cutoffs.
+    """
+    from repro.checkers.base import Checker
+    from repro.circuits.netlist import Circuit
+    from repro.core.scheme import SelfCheckingMemory
+    from repro.design.spec import DesignSpec
+    from repro.rom.nor_matrix import CheckedDecoder
+    from repro.suite.spec import MatrixBlock, SuiteSpec
+
+    selected = _selector(
+        None if rules is None else list(rules), list(skip)
+    )
+    ctx = Context(options=options or LintOptions(), code=code)
+    started = time.perf_counter()
+
+    if isinstance(obj, DesignSpec):
+        from repro.design.engine import DesignEngine
+
+        memory = DesignEngine().build(obj)
+        report = AnalysisReport(target=obj.label(), kind="design")
+        _analyze_memory(memory, ctx, report, selected)
+    elif isinstance(obj, SelfCheckingMemory):
+        report = AnalysisReport(
+            target=obj.organization.label(), kind="design"
+        )
+        _analyze_memory(obj, ctx, report, selected)
+    elif isinstance(obj, CheckedDecoder):
+        report = AnalysisReport(
+            target=f"{obj.circuit.name} ({obj.mapping!r})", kind="decoder"
+        )
+        _run_rules(obj.circuit, "circuit", ctx, report, selected)
+        _run_rules(obj, "decoder", ctx, report, selected)
+    elif isinstance(obj, Circuit):
+        report = AnalysisReport(target=obj.name, kind="circuit")
+        _run_rules(obj, "circuit", ctx, report, selected)
+    elif isinstance(obj, Checker):
+        label = repr(obj)
+        if " object at 0x" in label:
+            label = f"{type(obj).__name__}[{obj.input_width}]"
+        report = AnalysisReport(target=label, kind="checker")
+        _run_rules(obj, "checker", ctx, report, selected)
+    elif isinstance(obj, SuiteSpec):
+        report = AnalysisReport(
+            target=obj.name or "suite", kind="suite"
+        )
+        _run_rules(obj, "suite", ctx, report, selected)
+    elif isinstance(obj, MatrixBlock):
+        suite = SuiteSpec(name=obj.label or obj.family, blocks=(obj,))
+        report = AnalysisReport(target=suite.name, kind="suite")
+        _run_rules(suite, "suite", ctx, report, selected)
+    else:
+        raise TypeError(
+            f"analyze() cannot handle {type(obj).__name__}; expected a "
+            "Circuit, Checker, CheckedDecoder, SelfCheckingMemory, "
+            "DesignSpec, SuiteSpec or MatrixBlock"
+        )
+
+    report.wall_time_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,304 @@
+"""Netlist well-formedness rules and the collapse-soundness audit.
+
+These rules check the structural invariants that the simulation layers
+assume: every read net is driven, every gate output is observed, the
+gate list is levelized (no combinational cycles), one driver per net —
+and, the deepest one, that :func:`repro.circuits.equivalence.
+collapse_faults` never merges two faults whose *output cones* differ.
+That last audit is the PR 2 primary-output-stem guard generalized: a
+collapse class is sound only if all its members can influence exactly
+the same set of primary outputs, so a class mixing cones proves the
+collapser would fan one fault's measured latency out to a fault with
+different observability.
+
+Most structural rules cannot fire on circuits built through the public
+``Circuit`` API (construction enforces the invariants) — they exist to
+catch hand-mutated or externally deserialised netlists, and as the
+defensive base the cone-based rules stand on: when the levelization
+invariant is broken, cone computation is meaningless, so those rules
+downgrade to a skip pointing at ``net-cycle``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.base import Context, LintRule, rule
+from repro.analysis.report import Finding
+from repro.circuits.equivalence import FaultClasses, collapse_faults
+from repro.circuits.netlist import Circuit
+
+__all__ = [
+    "output_cones",
+    "fault_cone",
+    "collapse_cone_violations",
+]
+
+
+def _reader_map(circuit: Circuit) -> Dict[int, List[Tuple[int, int]]]:
+    """net -> [(gate index, pin)] in one pass (``fanout_of`` per net is
+    quadratic)."""
+    readers: Dict[int, List[Tuple[int, int]]] = {}
+    for gate in circuit.gates:
+        for pin, src in enumerate(gate.inputs):
+            readers.setdefault(src, []).append((gate.index, pin))
+    return readers
+
+
+def _is_levelized(circuit: Circuit) -> bool:
+    """True iff every gate reads only earlier-created nets (the
+    invariant the evaluator's single linear pass relies on)."""
+    for gate in circuit.gates:
+        if any(src >= gate.output for src in gate.inputs):
+            return False
+    return True
+
+
+def output_cones(circuit: Circuit) -> List[int]:
+    """For every net, a bitmask over primary-output *positions* the net
+    can structurally influence.
+
+    Computed in one reverse pass over the gate list (valid only for
+    levelized circuits: a gate's output net id exceeds all its input
+    net ids, so by the time a gate is visited every reader of its
+    output has already been folded in).  Bitmasks keep the pass cheap
+    on 1024-line decoder cones — unions are single big-int ORs.
+    """
+    masks: List[int] = [0] * circuit.num_nets
+    for pos, net in enumerate(circuit.output_nets):
+        masks[net] |= 1 << pos
+    for gate in reversed(circuit.gates):
+        cone = masks[gate.output]
+        if not cone:
+            continue
+        for src in set(gate.inputs):
+            masks[src] |= cone
+    return masks
+
+
+def _mask_outputs(circuit: Circuit, mask: int) -> List[int]:
+    """Expand a cone bitmask to the primary-output net ids it covers."""
+    outputs = circuit.output_nets
+    return [
+        outputs[pos] for pos in range(len(outputs)) if (mask >> pos) & 1
+    ]
+
+
+def fault_cone(circuit: Circuit, key: Tuple, cones: List[int]) -> int:
+    """The output-cone mask of one fault key (``("net", net, v)`` or
+    ``("pin", gate, pin, v)``).
+
+    A net fault propagates from the net itself; a pin fault only enters
+    the circuit through its gate's output, so its cone is the gate
+    output's cone.
+    """
+    if key[0] == "net":
+        return cones[key[1]]
+    return cones[circuit.gates[key[1]].output]
+
+
+def collapse_cone_violations(
+    circuit: Circuit, classes: Optional[FaultClasses] = None
+) -> List[dict]:
+    """Collapse classes whose members do not share one output cone.
+
+    Sound collapsing requires cone equality: two faults merged into one
+    class are simulated once and share a measured latency, which is
+    only valid if they can reach exactly the same primary outputs.
+    ``classes`` defaults to a fresh :func:`collapse_faults` run; tests
+    inject corrupted classes to prove the audit bites.
+    """
+    if classes is None:
+        classes = collapse_faults(circuit)
+    cones = output_cones(circuit)
+    violations: List[dict] = []
+    for cls in classes.classes:
+        if len(cls) < 2:
+            continue
+        by_cone: Dict[int, List[Tuple]] = {}
+        for fault in cls:
+            key = fault.key()
+            by_cone.setdefault(fault_cone(circuit, key, cones), []).append(
+                key
+            )
+        if len(by_cone) > 1:
+            violations.append(
+                {
+                    "class": [list(f.key()) for f in cls],
+                    "cones": [
+                        {
+                            "outputs": _mask_outputs(circuit, cone),
+                            "faults": [list(k) for k in keys],
+                        }
+                        for cone, keys in sorted(by_cone.items())
+                    ],
+                }
+            )
+    return violations
+
+
+# -- rules --------------------------------------------------------------------
+
+
+@rule(
+    "net-undriven",
+    "circuit",
+    severity="error",
+    summary="a read or output net has no driver and is not an input",
+)
+def _check_undriven(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[Finding]:
+    inputs = set(circuit.input_nets)
+    readers = _reader_map(circuit)
+    driven = {gate.output for gate in circuit.gates}
+    used = set(readers) | set(circuit.output_nets)
+    for net in sorted(used - inputs - driven):
+        n_readers = len(readers.get(net, ()))
+        role = (
+            f"read by {n_readers} gate pin(s)"
+            if n_readers
+            else "marked as a primary output"
+        )
+        yield rule.finding(
+            ctx.loc(f"net {net}"),
+            f"{role} but driven by no gate and not a primary input",
+            hint="declare it with add_input() or drive it with a gate",
+        )
+
+
+@rule(
+    "net-multidriver",
+    "circuit",
+    severity="error",
+    summary="one net driven by more than one source",
+)
+def _check_multidriver(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[Finding]:
+    drivers: Dict[int, List[str]] = {}
+    for net in circuit.input_nets:
+        drivers.setdefault(net, []).append("primary input")
+    for gate in circuit.gates:
+        drivers.setdefault(gate.output, []).append(
+            f"gate #{gate.index} ({gate.name})"
+        )
+    for net, sources in sorted(drivers.items()):
+        if len(sources) > 1:
+            yield rule.finding(
+                ctx.loc(f"net {net}"),
+                f"driven by {len(sources)} sources: {', '.join(sources)}",
+                hint="every net must have exactly one driver",
+            )
+
+
+@rule(
+    "net-cycle",
+    "circuit",
+    severity="error",
+    summary="a gate reads a net created later (combinational cycle)",
+)
+def _check_cycle(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[Finding]:
+    # in this levelized representation a cycle (or any forward
+    # reference) manifests as a gate reading a net id >= its own output
+    for gate in circuit.gates:
+        for pin, src in enumerate(gate.inputs):
+            if src >= gate.output:
+                later = circuit.driver_of(src)
+                via = (
+                    f"gate #{later.index} ({later.name})"
+                    if later is not None
+                    else "no gate yet"
+                )
+                yield rule.finding(
+                    ctx.loc(f"gate #{gate.index} ({gate.name})"),
+                    f"pin {pin} reads net {src} driven by {via}, created "
+                    "after this gate — the single-pass evaluator would "
+                    "read a stale value",
+                    hint="gates may only read nets that already exist",
+                )
+
+
+@rule(
+    "net-dangling",
+    "circuit",
+    severity="warning",
+    summary="a gate output with no readers that is not a primary output",
+)
+def _check_dangling(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[Finding]:
+    readers = _reader_map(circuit)
+    observable = set(circuit.output_nets)
+    for gate in circuit.gates:
+        if gate.output not in readers and gate.output not in observable:
+            yield rule.finding(
+                ctx.loc(
+                    f"net {gate.output} "
+                    f"(gate #{gate.index}, {gate.name})"
+                ),
+                "gate output has no readers and is not a primary output "
+                "— dead gate",
+                hint="mark_output() the net or drop the gate",
+            )
+
+
+@rule(
+    "net-unreachable",
+    "circuit",
+    severity="warning",
+    summary="logic that feeds other gates but reaches no primary output",
+)
+def _check_unreachable(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    if not _is_levelized(circuit):
+        yield rule.skip(
+            ctx.loc(), "circuit is not levelized (see net-cycle findings)"
+        )
+        return
+    readers = _reader_map(circuit)
+    cones = output_cones(circuit)
+    for gate in circuit.gates:
+        net = gate.output
+        if net in readers and not cones[net]:
+            yield rule.finding(
+                ctx.loc(f"net {net} (gate #{gate.index}, {gate.name})"),
+                f"feeds {len(readers[net])} gate pin(s) but no path "
+                "reaches a primary output — unreachable logic cone",
+                hint="faults in this cone are undetectable by any checker",
+            )
+
+
+@rule(
+    "net-collapse-unsound",
+    "circuit",
+    severity="error",
+    summary="a fault-collapse class mixes faults with different output cones",
+)
+def _check_collapse_sound(
+    circuit: Circuit, ctx: Context, rule: LintRule
+) -> Iterable[object]:
+    if not _is_levelized(circuit):
+        yield rule.skip(
+            ctx.loc(), "circuit is not levelized (see net-cycle findings)"
+        )
+        return
+    for violation in collapse_cone_violations(circuit):
+        cones = violation["cones"]
+        yield rule.finding(
+            ctx.loc(f"collapse class {violation['class'][0]}"),
+            f"class of {len(violation['class'])} faults spans "
+            f"{len(cones)} distinct output cones — collapsing would "
+            "share one measured latency across faults with different "
+            "observability",
+            hint="an output-stem guard is missing from a collapse rule",
+            counterexample={
+                "faults_a": cones[0]["faults"][0],
+                "cone_a": cones[0]["outputs"],
+                "faults_b": cones[1]["faults"][0],
+                "cone_b": cones[1]["outputs"],
+            },
+        )

@@ -1,0 +1,225 @@
+"""Structured findings — what the static analyzer returns.
+
+An :class:`AnalysisReport` is the linter's single output type: a list
+of :class:`Finding`\\ s (rule id, severity, location, message, fix
+hint, optional counterexample) plus the :class:`Skip` records for
+rules that declined to run (size cutoffs, behavioural-only checkers).
+It renders as text for terminals and as stable JSON for CI artifacts;
+``exit_code`` encodes the CLI contract (0 clean, 1 findings).
+
+:class:`AnalysisError` wraps a report whose error findings should
+abort a flow — the ``lint=`` hooks on ``DesignEngine.build`` and
+``SuiteRunner.run`` raise it before any cycle is simulated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Skip",
+    "AnalysisReport",
+    "AnalysisError",
+]
+
+#: recognised finding severities, most severe first
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    severity: str
+    location: str
+    message: str
+    #: one-line suggested fix, when the rule knows one
+    hint: str = ""
+    #: minimal JSON-able witness (a misclassified word, an undetected
+    #: fault, a colliding cell pair)
+    counterexample: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; known: {SEVERITIES}"
+            )
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.hint:
+            data["hint"] = self.hint
+        if self.counterexample is not None:
+            data["counterexample"] = self.counterexample
+        return data
+
+    def render(self) -> str:
+        lines = [
+            f"{self.severity}[{self.rule}] {self.location}: {self.message}"
+        ]
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        if self.counterexample is not None:
+            witness = ", ".join(
+                f"{key}={value}"
+                for key, value in self.counterexample.items()
+            )
+            lines.append(f"    counterexample: {witness}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Skip:
+    """A rule that declined to decide, and why.
+
+    Skips are first-class: a size cutoff on an Mb-scale target must
+    read as "not proven here", never as "proven" — CI surfaces them in
+    the JSON artifact even when the report is otherwise clean.
+    """
+
+    rule: str
+    location: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "location": self.location,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        return f"skipped[{self.rule}] {self.location}: {self.reason}"
+
+
+@dataclass
+class AnalysisReport:
+    """Every finding and skip from one ``analyze()`` call."""
+
+    target: str
+    kind: str
+    findings: List[Finding] = field(default_factory=list)
+    skipped: List[Skip] = field(default_factory=list)
+    rules_run: Tuple[str, ...] = ()
+    wall_time_s: float = 0.0
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count("error")
+
+    @property
+    def warnings(self) -> int:
+        return self.count("warning")
+
+    @property
+    def ok(self) -> bool:
+        """No error findings (warnings/info may remain)."""
+        return self.errors == 0
+
+    @property
+    def clean(self) -> bool:
+        """No findings of any severity."""
+        return not self.findings
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CLI contract: 0 clean, 1 on errors (``strict`` promotes
+        warnings and info to failures too)."""
+        if strict:
+            return 0 if self.clean else 1
+        return 0 if self.ok else 1
+
+    # -- merging -------------------------------------------------------------
+
+    def extend(self, other: "AnalysisReport") -> None:
+        """Fold a sub-analysis (e.g. one decoder circuit of a design)
+        into this report."""
+        self.findings.extend(other.findings)
+        self.skipped.extend(other.skipped)
+        merged = list(self.rules_run)
+        for rule_id in other.rules_run:
+            if rule_id not in merged:
+                merged.append(rule_id)
+        self.rules_run = tuple(merged)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self, stable_only: bool = False) -> dict:
+        """Stable JSON: findings/skips in rule-execution order, counts
+        keyed by severity.  ``stable_only`` drops wall time so CI can
+        diff artifacts across runs."""
+        counts: Dict[str, int] = {
+            severity: self.count(severity) for severity in SEVERITIES
+        }
+        data: dict = {
+            "target": self.target,
+            "kind": self.kind,
+            "rules_run": list(self.rules_run),
+            "counts": counts,
+            "findings": [f.to_dict() for f in self.findings],
+            "skipped": [s.to_dict() for s in self.skipped],
+        }
+        if not stable_only:
+            data["execution"] = {"wall_time_s": self.wall_time_s}
+        return data
+
+    def to_json(
+        self, indent: Optional[int] = 2, stable_only: bool = False
+    ) -> str:
+        return json.dumps(
+            self.to_dict(stable_only=stable_only), indent=indent
+        )
+
+    def render(self) -> str:
+        head = (
+            f"lint {self.target} ({self.kind}) — "
+            f"{self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.count('info')} info, {len(self.skipped)} skipped; "
+            f"{len(self.rules_run)} rule(s) in {self.wall_time_s:.3f}s"
+        )
+        lines = [head]
+        for finding in self.findings:
+            lines.append("  " + finding.render().replace("\n", "\n  "))
+        for skip in self.skipped:
+            lines.append("  " + skip.render())
+        if self.clean:
+            lines.append("  clean")
+        return "\n".join(lines) + "\n"
+
+
+class AnalysisError(ValueError):
+    """Raised by the ``lint=`` hooks when analysis finds errors.
+
+    Carries the full :class:`AnalysisReport` as ``.report`` so callers
+    can render or serialise every finding, while ``str(exc)`` stays a
+    one-line diagnostic (the CLI's ``error:`` contract).
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        first = next(
+            (f for f in report.findings if f.severity == "error"), None
+        )
+        detail = (
+            f" — first: [{first.rule}] {first.location}: {first.message}"
+            if first is not None
+            else ""
+        )
+        super().__init__(
+            f"static analysis of {report.target} found "
+            f"{report.errors} error(s){detail}"
+        )

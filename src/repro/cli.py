@@ -291,6 +291,110 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- static analysis: `repro lint` -------------------------------------------
+
+
+def _resolve_lint_target(args: argparse.Namespace):
+    """What ``repro lint TARGET`` analyzes: a SuiteSpec JSON file, a
+    DesignSpec JSON file, a built-in suite name, or an organisation
+    label/WORDSxBITS[xMUX] (turned into a DesignSpec with the
+    -c/--pndc requirement)."""
+    text = args.target
+    if os.path.isfile(text):
+        with open(text) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{text}: malformed JSON: {exc}") from None
+        if isinstance(data, dict) and "blocks" in data:
+            from repro.suite.spec import SuiteSpec
+
+            return SuiteSpec.from_dict(data)
+        if isinstance(data, dict):
+            return DesignSpec.from_dict(data)
+        raise ValueError(
+            f"{text}: expected a JSON object (SuiteSpec or DesignSpec)"
+        )
+    from repro.suite import builtin_names, builtin_suite
+
+    if text in builtin_names():
+        return builtin_suite(text)
+    try:
+        org = _parse_org(text)
+    except argparse.ArgumentTypeError as exc:
+        raise ValueError(
+            f"lint target {text!r} is not a spec file, a built-in suite "
+            f"({', '.join(builtin_names())}) or an organisation: {exc}"
+        ) from None
+    return DesignSpec(
+        words=org.words,
+        bits=org.bits,
+        column_mux=org.column_mux,
+        c=args.cycles,
+        pndc=args.pndc,
+    )
+
+
+def _split_rule_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part for part in value.split(",") if part)
+    return out
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, rules_for
+
+    if args.list_rules:
+        from repro.analysis.base import RULE_KINDS
+        from repro.experiments.common import format_table
+
+        rules = [
+            rule for kind in RULE_KINDS for rule in rules_for(kind)
+        ]
+        if args.json:
+            payload = [
+                {
+                    "id": rule.id,
+                    "kind": rule.kind,
+                    "severity": rule.severity,
+                    "summary": rule.summary,
+                }
+                for rule in rules
+            ]
+            _emit(args, json.dumps(payload, indent=2))
+            return 0
+        table = format_table(
+            ["rule", "kind", "severity", "summary"],
+            [[r.id, r.kind, r.severity, r.summary] for r in rules],
+        )
+        _emit(args, f"registered analysis rules ({len(rules)})\n" + table)
+        return 0
+
+    if args.target is None:
+        raise ValueError("a lint target is required (or use --list-rules)")
+    only = _split_rule_ids(args.rules)
+    skip = _split_rule_ids(args.skip) or []
+    unknown = [
+        rule_id
+        for rule_id in (only or []) + skip
+        if rule_id not in RULES
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {unknown}; see `repro lint --list-rules`"
+        )
+    from repro.analysis import analyze
+
+    report = analyze(_resolve_lint_target(args), rules=only, skip=skip)
+    _emit(
+        args, report.to_json(indent=2) if args.json else report.render()
+    )
+    return report.exit_code(strict=args.strict)
+
+
 # -- artifact-store inspection: `repro results ls|show|diff|export` ----------
 
 
@@ -897,6 +1001,15 @@ campaign service (1.6):
   repro fetch KEY --records              a stored artifact's JSONL
   repro store stats|verify               occupancy counters / sha256
                                          sweep of every artifact
+
+static analysis (1.8):
+  repro lint 16x2K                       prove the TSC properties and
+                                         design rules on a paper RAM
+  repro lint paper_grid --strict         a suite spec: unknown names,
+                                         colliding cells, provenance
+  repro lint spec.json --json --out r.json
+                                         stable JSON findings for CI
+  repro lint --list-rules                every registered rule id
 """
 
 
@@ -1235,6 +1348,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_options(registry)
     registry.set_defaults(func=_cmd_registry)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static design linter & TSC property prover",
+        description=(
+            "Statically analyze a design or suite without simulating a "
+            "cycle: netlist well-formedness, TSC checker proofs "
+            "(code-disjoint / self-testing / fault-secure), collapse "
+            "soundness, and suite-spec sanity.  Exit code 0 means no "
+            "error findings (with --strict: no findings at all)."
+        ),
+    )
+    lint.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="SuiteSpec or DesignSpec JSON file, built-in suite name, "
+        "paper label ('16x2K') or WORDSxBITS[xMUX]",
+    )
+    lint.add_argument(
+        "--cycles", "-c", type=int, default=10,
+        help="latency budget for organisation targets (default 10)",
+    )
+    lint.add_argument(
+        "--pndc", "-p", type=float, default=1e-9,
+        help="escape-probability target for organisation targets "
+        "(default 1e-9)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="append",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    lint.add_argument(
+        "--skip",
+        action="append",
+        metavar="ID[,ID...]",
+        help="exclude these rule ids (repeatable, comma-separable)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings and info findings too",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    _add_output_options(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     for entry in EXPERIMENTS:
         cmd = sub.add_parser(entry.name, help=entry.help)

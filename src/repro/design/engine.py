@@ -110,9 +110,17 @@ class DesignEngine:
         )
 
     def build(
-        self, spec: DesignSpec, plan: Optional[MemoryCodePlan] = None
+        self,
+        spec: DesignSpec,
+        plan: Optional[MemoryCodePlan] = None,
+        lint: bool = False,
     ) -> SelfCheckingMemory:
-        """Assemble the figure-3 self-checking memory for a spec."""
+        """Assemble the figure-3 self-checking memory for a spec.
+
+        ``lint=True`` statically analyzes the built memory and raises
+        :class:`~repro.analysis.AnalysisError` on any error finding —
+        catching a mis-wired design before a single cycle is simulated.
+        """
         plan = plan or self.plan(spec)
         memory = SelfCheckingMemory(
             spec.organization,
@@ -122,6 +130,12 @@ class DesignEngine:
             decoder_style=spec.decoder_style,
         )
         memory.selection = plan.row
+        if lint:
+            from repro.analysis import AnalysisError, analyze
+
+            report = analyze(memory)
+            if not report.ok:
+                raise AnalysisError(report)
         return memory
 
     def empirical(

@@ -536,18 +536,20 @@ class ResultDiff:
             if r_rec is None:
                 continue
             matched += 1
-            if not l_rec.detected and r_rec.detected:
+            # compare the Optional cycles directly so the type checker
+            # sees the None checks the `detected` property hides
+            l_cycle = l_rec.first_detection
+            r_cycle = r_rec.first_detection
+            if l_cycle is None and r_cycle is not None:
                 newly_detected.append(l_rec.fault)
-            elif l_rec.detected and not r_rec.detected:
+            elif l_cycle is not None and r_cycle is None:
                 newly_undetected.append(l_rec.fault)
             elif (
-                l_rec.detected
-                and r_rec.detected
-                and l_rec.first_detection != r_rec.first_detection
+                l_cycle is not None
+                and r_cycle is not None
+                and l_cycle != r_cycle
             ):
-                moved.append(
-                    (l_rec.fault, l_rec.first_detection, r_rec.first_detection)
-                )
+                moved.append((l_rec.fault, l_cycle, r_cycle))
         return cls(
             left_summary=left.summary(),
             right_summary=right.summary(),

@@ -29,7 +29,14 @@ class RecordStatistics:
     :meth:`by_kind` and the filter/group operations built on it).
     """
 
+    # provided by the concrete containers (plain annotations on a
+    # non-dataclass mixin: invisible to the subclasses' @dataclass
+    # machinery, visible to the type checker).  ``engine`` is an
+    # attribute on one container and a property on the other, so
+    # :meth:`summary` reads it with ``getattr`` instead of pinning a
+    # shape here.
     records: List
+    cycles_simulated: int
 
     def _spawn(self) -> "RecordStatistics":
         raise NotImplementedError
@@ -129,5 +136,5 @@ class RecordStatistics:
             "mean_detection_cycle": None if math.isnan(mean) else mean,
             "max_detection_cycle": self.max_detection_cycle(),
             "cycles_simulated": self.cycles_simulated,
-            "engine": self.engine,
+            "engine": getattr(self, "engine", None),
         }

@@ -40,6 +40,7 @@ from repro.scenarios.workload import (
     Workload,
     as_workload,
     named_workload,
+    workload_kinds,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "InterleavedWorkload",
     "NAMED_WORKLOADS",
     "named_workload",
+    "workload_kinds",
     "as_workload",
     "FaultScenario",
     "StructuralScenario",

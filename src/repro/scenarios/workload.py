@@ -60,6 +60,7 @@ __all__ = [
     "InterleavedWorkload",
     "NAMED_WORKLOADS",
     "named_workload",
+    "workload_kinds",
     "as_workload",
 ]
 
@@ -666,6 +667,12 @@ _WORKLOAD_KINDS: Dict[str, Type[Workload]] = {
         InterleavedWorkload,
     )
 }
+
+def workload_kinds() -> Tuple[str, ...]:
+    """The ``kind`` tags a serialised :class:`Workload` dict may carry
+    (what :meth:`Workload.from_dict` dispatches on)."""
+    return tuple(_WORKLOAD_KINDS)
+
 
 #: family names a ``DesignSpec.workload``/CLI ``--workload`` may use; the
 #: engine resolves them against the organisation via :func:`named_workload`

@@ -121,11 +121,11 @@ class SuiteReport:
 
     # -- aggregation ---------------------------------------------------------
 
-    def totals(self) -> dict:
+    def totals(self) -> Dict[str, object]:
         """Coverage / latency statistics over every campaign cell's
         summary, overall and per family."""
-        overall = {"faults": 0, "detected": 0}
-        by_family: Dict[str, Dict[str, int]] = {}
+        counts = {"faults": 0, "detected": 0}
+        family_counts: Dict[str, Dict[str, int]] = {}
         worst: Optional[int] = None
         latency_sum = 0.0
         latency_cells = 0
@@ -133,10 +133,10 @@ class SuiteReport:
             summary = cell.summary or {}
             if "faults" not in summary:
                 continue
-            bucket = by_family.setdefault(
+            bucket = family_counts.setdefault(
                 cell.family, {"faults": 0, "detected": 0}
             )
-            for scope in (overall, bucket):
+            for scope in (counts, bucket):
                 scope["faults"] += summary.get("faults", 0)
                 scope["detected"] += summary.get("detected", 0)
             mean = summary.get("mean_detection_cycle")
@@ -146,16 +146,23 @@ class SuiteReport:
             peak = summary.get("max_detection_cycle")
             if peak is not None:
                 worst = peak if worst is None else max(worst, peak)
-        for scope in [overall] + list(by_family.values()):
+
+        def rollup(scope: Dict[str, int]) -> Dict[str, object]:
             faults = scope["faults"]
-            scope["coverage"] = (
+            coverage = (
                 round(scope["detected"] / faults, 6) if faults else None
             )
+            return {**scope, "coverage": coverage}
+
+        overall: Dict[str, object] = rollup(counts)
         overall["mean_detection_cycle"] = (
             round(latency_sum / latency_cells, 4) if latency_cells else None
         )
         overall["max_detection_cycle"] = worst
-        overall["by_family"] = by_family
+        overall["by_family"] = {
+            family: rollup(bucket)
+            for family, bucket in family_counts.items()
+        }
         return overall
 
     # -- serialisation -------------------------------------------------------

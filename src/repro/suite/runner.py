@@ -338,6 +338,7 @@ class SuiteRunner:
         suite: SuiteSpec,
         only: Optional[str] = None,
         engine: Optional[str] = None,
+        lint: bool = False,
     ) -> SuiteReport:
         """Execute the suite and aggregate a :class:`SuiteReport`.
 
@@ -346,9 +347,19 @@ class SuiteRunner:
         ``serial|packed|vector|auto``) — cell ids stay stable because
         the override is applied after expansion, not in the policy
         label.
+        ``lint=True`` statically analyzes the suite first and raises
+        :class:`~repro.analysis.AnalysisError` on any error finding
+        (a cell that can never run, a target that does not build)
+        before any campaign starts.
         Outcomes keep the suite's cell order regardless of pool
         completion order.
         """
+        if lint:
+            from repro.analysis import AnalysisError, analyze
+
+            lint_report = analyze(suite)
+            if not lint_report.ok:
+                raise AnalysisError(lint_report)
         cells = suite.cells()
         if only is not None:
             cells = [cell for cell in cells if cell.family == only]

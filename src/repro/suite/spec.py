@@ -56,6 +56,45 @@ def _frozen_dict(value: Optional[dict], what: str) -> Optional[dict]:
     return dict(value)
 
 
+def _validate_workload(workload: Optional[dict], where: str) -> None:
+    """Reject workload dicts that could never run — unknown march test,
+    workload kind or family names — at spec load, with a one-line
+    diagnostic instead of a run-time traceback."""
+    if workload is None:
+        return
+    if "test" in workload:
+        from repro.memory.march import MARCH_TESTS
+
+        if workload["test"] not in MARCH_TESTS:
+            raise ValueError(
+                f"block {where}: unknown march test "
+                f"{workload['test']!r}; known: {sorted(MARCH_TESTS)}"
+            )
+        return
+    if "kind" in workload:
+        from repro.scenarios.workload import workload_kinds
+
+        if workload["kind"] not in workload_kinds():
+            raise ValueError(
+                f"block {where}: unknown workload kind "
+                f"{workload['kind']!r}; known: {workload_kinds()}"
+            )
+        return
+    if "family" in workload:
+        from repro.scenarios.workload import NAMED_WORKLOADS
+
+        if workload["family"] not in NAMED_WORKLOADS:
+            raise ValueError(
+                f"block {where}: unknown workload family "
+                f"{workload['family']!r}; known: {NAMED_WORKLOADS}"
+            )
+        return
+    raise ValueError(
+        f"block {where}: a workload dict needs a 'family', 'kind' or "
+        f"'test' key, got {sorted(workload)}"
+    )
+
+
 @dataclass(frozen=True)
 class CampaignCell:
     """One concrete campaign: the unit the runner schedules and the
@@ -202,6 +241,9 @@ class MatrixBlock:
             from repro.suite.populations import check_population
 
             check_population(self.scenarios["population"])
+        where = self.label or self.family
+        for workload in self.workloads:
+            _validate_workload(workload, where)
 
     def cells(self) -> List[CampaignCell]:
         """The block expanded to concrete cells (stable order: targets

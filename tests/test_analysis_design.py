@@ -1,0 +1,243 @@
+"""TSC property proofs as lint rules: every registry code/checker pair
+is proven code-disjoint and self-testing, and a deliberately broken
+checker (one gate inverted) is refuted with a concrete code-word
+counterexample — in the rendered text and in the JSON artifact alike.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import RULES, AnalysisError, analyze, output_cones, rule
+from repro.checkers.berger_checker import BergerChecker
+from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+from repro.checkers.parity_checker import ParityChecker
+from repro.checkers.two_rail_checker import TwoRailChecker
+from repro.circuits.gates import GateType
+from repro.codes.m_out_of_n import MOutOfNCode
+from repro.codes.parity import ParityCode
+from repro.codes.two_rail import TwoRailCode
+from repro.core.mapping import TruncatedBergerMapping
+from repro.design.engine import DesignEngine
+from repro.design.registry import checker_for, mapping_for_code
+from repro.design.spec import DesignSpec
+
+SMALL = DesignSpec(words=64, bits=8, column_mux=4)
+
+
+def registry_checker_pairs():
+    """Every (checker, code) composition reachable through the design
+    registries, the way DesignEngine builds them."""
+    pairs = []
+    for code in (MOutOfNCode(1, 2), MOutOfNCode(2, 5), MOutOfNCode(3, 6)):
+        mapping = mapping_for_code(code, 4)
+        checker = checker_for(mapping, structural=False)
+        pairs.append((checker, getattr(mapping, "code", None)))
+    berger = TruncatedBergerMapping(4, 1)
+    pairs.append((checker_for(berger, False), None))
+    return pairs
+
+
+class TestTSCProofs:
+    @pytest.mark.parametrize(
+        "checker,code",
+        registry_checker_pairs(),
+        ids=lambda obj: type(obj).__name__ if obj is not None else "derived",
+    )
+    def test_every_registry_pair_proves_tsc(self, checker, code):
+        report = analyze(checker, code=code)
+        assert report.errors == 0, report.render()
+        assert {"tsc-code-disjoint", "tsc-self-testing"} <= set(
+            report.rules_run
+        )
+
+    @pytest.mark.parametrize(
+        "checker,code",
+        [
+            (ParityChecker(17), ParityCode(16)),
+            (ParityChecker(9, even=False), ParityCode(8, even=False)),
+            (TwoRailChecker(4), TwoRailCode(4)),
+            (MOutOfNChecker(2, 5, structural=True), MOutOfNCode(2, 5)),
+        ],
+        ids=["parity16", "odd-parity8", "two-rail4", "2-of-5-structural"],
+    )
+    def test_shipped_checkers_prove_clean(self, checker, code):
+        report = analyze(checker, code=code)
+        assert report.errors == 0, report.render()
+
+    def test_affine_proof_scales_past_the_exhaustive_cutoff(self):
+        # 2^65 vectors are unenumerable; the GF(2) symbolic path proves
+        # both properties anyway, with no code-disjoint skip
+        report = analyze(ParityChecker(65), code=ParityCode(64))
+        assert report.errors == 0, report.render()
+        assert all(s.rule != "tsc-code-disjoint" for s in report.skipped)
+        assert report.wall_time_s < 2.0
+
+    def test_structurally_silent_faults_become_one_skip(self):
+        # internal sorting-network nets constant over the code space
+        # carry untestable stuck-ats: excluded, never silently passed
+        report = analyze(MOutOfNChecker(2, 5, structural=True))
+        assert report.errors == 0
+        silent = [
+            s
+            for s in report.skipped
+            if s.rule == "tsc-self-testing"
+            and "structurally silent" in s.reason
+        ]
+        assert len(silent) == 1
+
+    def test_behavioural_checker_without_circuit_skips_self_testing(self):
+        report = analyze(BergerChecker(8))
+        assert report.errors == 0
+        assert any(
+            s.rule == "tsc-self-testing" and "behavioural" in s.reason
+            for s in report.skipped
+        )
+
+
+class TestMutatedCheckerRefutation:
+    def broken_sorting_network(self):
+        """The acceptance fixture: one observable AND inverted to OR."""
+        checker = MOutOfNChecker(2, 5, structural=True)
+        cones = output_cones(checker.circuit)
+        gate = [
+            g
+            for g in checker.circuit.gates
+            if g.gate_type is GateType.AND and cones[g.output]
+        ][-1]
+        gate.gate_type = GateType.OR
+        return checker
+
+    def test_brute_force_refutation_with_code_word_witness(self):
+        report = analyze(self.broken_sorting_network())
+        errors = [f for f in report.findings if f.severity == "error"]
+        assert errors and all(
+            f.rule == "tsc-code-disjoint" for f in errors
+        )
+        witness = errors[0].counterexample
+        assert witness is not None
+        assert len(witness["word"]) == 5
+        assert witness["is_codeword"] is False  # accepted a non-code word
+        # capped reporting is declared, never silent
+        assert any("stopped after" in s.reason for s in report.skipped)
+
+    def test_counterexample_survives_text_and_json(self):
+        report = analyze(self.broken_sorting_network())
+        text = report.render()
+        assert "counterexample:" in text
+        assert "accepts a non-code word" in text
+        data = json.loads(report.to_json())
+        assert data["counts"]["error"] >= 1
+        refutations = [
+            f
+            for f in data["findings"]
+            if f["rule"] == "tsc-code-disjoint" and "counterexample" in f
+        ]
+        assert refutations
+        assert refutations[0]["counterexample"]["word"] is not None
+
+    def test_symbolic_refutation_of_a_flipped_xor(self):
+        checker = ParityChecker(17)
+        checker.circuit.gates[0].gate_type = GateType.XNOR
+        report = analyze(checker)
+        errors = [f for f in report.findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert "symbolic GF(2) refutation" in errors[0].message
+        witness = errors[0].counterexample
+        assert len(witness["word"]) == 17
+        # the witness really is misclassified: an accepted code word
+        # whose indication claims otherwise, or vice versa
+        code = ParityCode(16)
+        valid = witness["indication"][0] != witness["indication"][1]
+        assert valid != code.is_codeword(witness["word"])
+
+
+class TestDecoderRules:
+    def test_built_decoder_is_consistent(self):
+        memory = DesignEngine().build(SMALL)
+        report = analyze(memory.row)
+        assert report.kind == "decoder"
+        assert report.errors == 0, report.render()
+
+    def test_corrupted_rom_row_yields_an_addressed_counterexample(self):
+        memory = DesignEngine().build(SMALL)
+        decoder = memory.row
+        rows = list(decoder.matrix.rows)
+        rows[3] = tuple(1 - bit for bit in rows[3])
+        decoder.matrix.rows = tuple(rows)
+        report = analyze(decoder)
+        errors = [f for f in report.findings if f.severity == "error"]
+        assert any(f.rule == "decoder-consistency" for f in errors)
+        witness = errors[0].counterexample
+        assert witness["address"] == 3
+        assert witness["programmed"] != witness["expected"]
+
+    def test_aliasing_mapping_skips_fault_secure_by_design(self):
+        memory = DesignEngine().build(SMALL)
+        report = analyze(memory.row)
+        skips = [
+            s for s in report.skipped if s.rule == "tsc-fault-secure"
+        ]
+        assert len(skips) == 1
+        assert "design point" in skips[0].reason
+
+    def test_injective_mapping_proves_fault_secure(self):
+        memory = DesignEngine().build(SMALL)
+        report = analyze(memory.column)
+        assert report.errors == 0, report.render()
+        assert "tsc-fault-secure" in report.rules_run
+        assert all(
+            s.rule != "tsc-fault-secure" for s in report.skipped
+        )
+
+
+class TestDesignRules:
+    def test_built_memory_lints_clean_across_all_families(self):
+        report = analyze(DesignEngine().build(SMALL))
+        assert report.kind == "design"
+        assert report.errors == 0, report.render()
+        assert {
+            "design-checker-width",
+            "design-placement",
+            "design-coverage",
+            "net-dangling",
+            "decoder-consistency",
+            "tsc-code-disjoint",
+        } <= set(report.rules_run)
+
+    def test_spec_target_is_built_then_analyzed(self):
+        report = analyze(SMALL)
+        assert report.kind == "design"
+        assert report.target == SMALL.label()
+        assert report.errors == 0, report.render()
+
+    def test_checker_width_mismatch_is_an_error(self):
+        memory = DesignEngine().build(SMALL)
+        memory.parity_checker = ParityChecker(5)
+        report = analyze(memory, rules=["design-checker-width"])
+        assert report.errors == 1
+        assert "parity checker" in report.findings[0].location
+
+
+class TestEngineLintHook:
+    def test_lint_true_passes_a_sound_build_through(self):
+        memory = DesignEngine().build(SMALL, lint=True)
+        assert memory.organization.words == 64
+
+    def test_lint_true_raises_on_an_error_finding(self):
+        @rule(
+            "test-injected-failure",
+            "design",
+            severity="error",
+            summary="always fails (test fixture)",
+        )
+        def _always_fail(memory, ctx, lint_rule):
+            yield lint_rule.finding(ctx.loc(), "injected failure")
+
+        try:
+            with pytest.raises(AnalysisError) as excinfo:
+                DesignEngine().build(SMALL, lint=True)
+            assert "test-injected-failure" in str(excinfo.value)
+            assert excinfo.value.report.errors >= 1
+        finally:
+            RULES.unregister("test-injected-failure")

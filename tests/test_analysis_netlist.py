@@ -1,0 +1,233 @@
+"""Netlist well-formedness rules and the collapse-soundness audit.
+
+The structural rules cannot fire on circuits built through the public
+``Circuit`` API (construction enforces the invariants), so these tests
+hand-mutate ``Gate`` attributes the way a buggy deserialiser or an
+external netlist importer would, then prove each rule bites.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    collapse_cone_violations,
+    fault_cone,
+    output_cones,
+)
+from repro.circuits.equivalence import FaultClasses, collapse_faults
+from repro.circuits.faults import NetStuckAt
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+def two_rail_xor():
+    """A clean two-output circuit: z1 = a^b, z2 = ~(a^b)."""
+    circuit = Circuit("clean")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    z1 = circuit.add_gate(GateType.XOR, [a, b])
+    z2 = circuit.add_gate(GateType.XNOR, [a, b])
+    circuit.mark_output(z1, "z1")
+    circuit.mark_output(z2, "z2")
+    return circuit
+
+
+def split_cones():
+    """Two disjoint output cones: out0 = BUF(a), out1 = BUF(b)."""
+    circuit = Circuit("split")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    x = circuit.add_gate(GateType.BUF, [a])
+    y = circuit.add_gate(GateType.BUF, [b])
+    circuit.mark_output(x, "x")
+    circuit.mark_output(y, "y")
+    return circuit, a, b, x, y
+
+
+def by_rule(report):
+    grouped = {}
+    for finding in report.findings:
+        grouped.setdefault(finding.rule, []).append(finding)
+    return grouped
+
+
+CIRCUIT_RULES = {
+    "net-undriven",
+    "net-multidriver",
+    "net-cycle",
+    "net-dangling",
+    "net-unreachable",
+    "net-collapse-unsound",
+}
+
+
+class TestStructuralRules:
+    def test_clean_circuit_runs_all_rules_clean(self):
+        report = analyze(two_rail_xor())
+        assert report.kind == "circuit"
+        assert report.clean
+        assert report.exit_code() == 0
+        assert CIRCUIT_RULES <= set(report.rules_run)
+
+    def test_dangling_gate_is_a_warning_not_an_error(self):
+        circuit = two_rail_xor()
+        circuit.add_gate(GateType.AND, [0, 1])  # never read, never marked
+        report = analyze(circuit)
+        grouped = by_rule(report)
+        assert set(grouped) == {"net-dangling"}
+        assert grouped["net-dangling"][0].severity == "warning"
+        # warnings pass by default but fail the strict gate
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_multidriver_after_hand_mutation(self):
+        circuit = Circuit("multi")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        g1 = circuit.add_gate(GateType.AND, [a, b])
+        circuit.add_gate(GateType.OR, [a, b])
+        circuit.mark_output(g1)
+        circuit.gates[1].output = g1  # second driver onto g1's net
+        grouped = by_rule(analyze(circuit))
+        assert "net-multidriver" in grouped
+        finding = grouped["net-multidriver"][0]
+        assert finding.severity == "error"
+        assert "2 sources" in finding.message
+
+    def test_undriven_net_after_input_removal(self):
+        circuit = Circuit("undriven")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        out = circuit.add_gate(GateType.AND, [a, b])
+        circuit.mark_output(out)
+        circuit._input_nets.remove(b)  # deserialiser dropped a port
+        grouped = by_rule(analyze(circuit, rules=["net-undriven"]))
+        assert "net-undriven" in grouped
+        assert f"net {b}" in grouped["net-undriven"][0].location
+
+    def test_cycle_downgrades_cone_rules_to_skips(self):
+        circuit = Circuit("cycle")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        out = circuit.add_gate(GateType.AND, [a, b])
+        circuit.mark_output(out)
+        circuit.gates[0].inputs = (a, out)  # gate reads its own output
+        report = analyze(circuit)
+        grouped = by_rule(report)
+        assert "net-cycle" in grouped
+        assert grouped["net-cycle"][0].severity == "error"
+        # cone computation is meaningless on a non-levelized netlist:
+        # the cone-based rules must decline, pointing at net-cycle
+        skipped = {skip.rule for skip in report.skipped}
+        assert {"net-unreachable", "net-collapse-unsound"} <= skipped
+        for skip in report.skipped:
+            assert "levelized" in skip.reason
+
+    def test_unreachable_cone_is_flagged(self):
+        circuit = two_rail_xor()
+        # a two-gate cone feeding nothing observable
+        dead = circuit.add_gate(GateType.NOT, [0])
+        circuit.add_gate(GateType.AND, [dead, 1])
+        grouped = by_rule(analyze(circuit))
+        assert "net-unreachable" in grouped
+        assert "no path" in grouped["net-unreachable"][0].message
+        # the sink gate itself dangles
+        assert "net-dangling" in grouped
+
+
+class TestOutputCones:
+    def test_cones_are_bitmasks_over_output_positions(self):
+        circuit, a, b, x, y = split_cones()
+        cones = output_cones(circuit)
+        assert cones[x] == 0b01
+        assert cones[y] == 0b10
+        assert cones[a] == 0b01
+        assert cones[b] == 0b10
+
+    def test_fault_cone_for_net_and_pin_keys(self):
+        circuit, a, b, x, y = split_cones()
+        cones = output_cones(circuit)
+        assert fault_cone(circuit, ("net", a, 0), cones) == 0b01
+        # a pin fault enters through its gate's output
+        assert fault_cone(circuit, ("pin", 1, 0, 1), cones) == 0b10
+
+    def test_output_stem_cone_includes_downstream_readers(self):
+        # PR 2 scenario: a stem that is both a primary output and the
+        # input of later logic influences both output positions
+        circuit = Circuit("stem")
+        a = circuit.add_input("a")
+        stem = circuit.add_gate(GateType.BUF, [a])
+        inv = circuit.add_gate(GateType.NOT, [stem])
+        circuit.mark_output(stem, "word")
+        circuit.mark_output(inv, "nword")
+        cones = output_cones(circuit)
+        assert cones[stem] == 0b11
+        assert cones[inv] == 0b10
+
+
+class TestCollapseSoundness:
+    def test_real_collapse_has_no_violations(self):
+        circuit, *_ = split_cones()
+        assert collapse_cone_violations(circuit) == []
+
+    def test_output_stem_guard_keeps_collapse_sound(self):
+        # the single-reader stem rule must not merge across the stem
+        # when the stem is itself observable (a primary output)
+        circuit = Circuit("stem")
+        a = circuit.add_input("a")
+        stem = circuit.add_gate(GateType.BUF, [a])
+        inv = circuit.add_gate(GateType.NOT, [stem])
+        circuit.mark_output(stem, "word")
+        circuit.mark_output(inv, "nword")
+        assert collapse_cone_violations(circuit) == []
+        report = analyze(circuit)
+        assert report.clean
+
+    def test_corrupted_classes_are_caught(self):
+        circuit, a, b, x, y = split_cones()
+        sound = collapse_faults(circuit)
+        # merge two faults from disjoint cones into one class
+        corrupted = FaultClasses(
+            [[NetStuckAt(x, 0), NetStuckAt(y, 0)]], sound.total
+        )
+        violations = collapse_cone_violations(circuit, corrupted)
+        assert len(violations) == 1
+        cones = violations[0]["cones"]
+        assert len(cones) == 2
+        assert [x] in [c["outputs"] for c in cones]
+        assert [y] in [c["outputs"] for c in cones]
+
+    def test_singleton_classes_are_never_violations(self):
+        circuit, a, b, x, y = split_cones()
+        singletons = FaultClasses(
+            [[NetStuckAt(x, 0)], [NetStuckAt(y, 1)]], 2
+        )
+        assert collapse_cone_violations(circuit, singletons) == []
+
+
+class TestCheckerCircuitsDirectly:
+    def test_sorting_network_dangles_but_has_no_errors(self):
+        # analyzed as a *bare circuit* the structural m-out-of-n
+        # sorting network legitimately leaves sorter outputs unread;
+        # that is why the design driver skips netlist rules on checker
+        # circuits — but none of it is an error
+        from repro.checkers.m_out_of_n_checker import MOutOfNChecker
+
+        circuit = MOutOfNChecker(2, 5, structural=True).circuit
+        report = analyze(circuit)
+        assert report.ok
+        assert {f.rule for f in report.findings} <= {"net-dangling"}
+
+    def test_rule_selection_restricts_and_excludes(self):
+        circuit = two_rail_xor()
+        circuit.add_gate(GateType.AND, [0, 1])  # dangles
+        only = analyze(circuit, rules=["net-undriven"])
+        assert only.rules_run == ("net-undriven",)
+        assert only.clean
+        without = analyze(circuit, skip=["net-dangling"])
+        assert "net-dangling" not in without.rules_run
+        assert without.clean
+
+    def test_unknown_artifact_type_is_rejected(self):
+        with pytest.raises(TypeError, match="cannot handle"):
+            analyze(42)

@@ -1,0 +1,185 @@
+"""`repro lint` — the CLI surface of the static analyzer: target
+resolution (labels, built-in suites, spec files), the exit-code
+contract (0 clean, 1 findings, --strict promotes warnings), rule
+selection, and the hardened one-line error paths."""
+
+import json
+
+from repro.cli import main
+from repro.suite import builtin_suite
+from repro.suite.spec import MatrixBlock, SuiteSpec
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListRules:
+    def test_table_lists_every_registered_rule(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in (
+            "net-undriven",
+            "net-collapse-unsound",
+            "tsc-code-disjoint",
+            "tsc-self-testing",
+            "tsc-fault-secure",
+            "decoder-consistency",
+            "design-placement",
+            "suite-duplicate",
+        ):
+            assert rule_id in out
+
+    def test_json_rows_carry_kind_and_severity(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--list-rules", "--json")
+        assert code == 0
+        rules = json.loads(out)
+        assert len(rules) >= 19
+        by_id = {entry["id"]: entry for entry in rules}
+        assert by_id["tsc-code-disjoint"]["kind"] == "checker"
+        assert by_id["tsc-code-disjoint"]["severity"] == "error"
+        assert by_id["net-dangling"]["severity"] == "warning"
+
+
+class TestLintTargets:
+    def test_paper_label_lints_clean(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "16x2K")
+        assert code == 0
+        assert "0 error(s)" in out
+        assert "clean" in out
+
+    def test_json_report_has_the_stable_shape(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "16x2K", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["kind"] == "design"
+        assert data["counts"] == {"error": 0, "warning": 0, "info": 0}
+        assert data["findings"] == []
+        assert data["rules_run"]
+        assert data["skipped"]  # aliasing/silent-fault skips declared
+
+    def test_builtin_suite_name(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "smoke", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["kind"] == "suite"
+        assert data["counts"]["error"] == 0
+
+    def test_design_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "design.json"
+        path.write_text(
+            json.dumps({"words": 64, "bits": 8, "column_mux": 4})
+        )
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 0
+        assert "clean" in out
+
+    def test_suite_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(builtin_suite("smoke").to_json())
+        code, _, _ = run_cli(capsys, "lint", str(path), "--strict")
+        assert code == 0
+
+    def test_out_flag_writes_the_report(self, capsys, tmp_path):
+        target = tmp_path / "report.json"
+        code, _, _ = run_cli(
+            capsys, "lint", "16x2K", "--json", "--out", str(target)
+        )
+        assert code == 0
+        assert json.loads(target.read_text())["counts"]["error"] == 0
+
+
+class TestExitCodeContract:
+    def warning_suite(self, tmp_path):
+        org = {"words": 64, "bits": 8, "column_mux": 4}
+        suite = SuiteSpec(
+            name="dupes",
+            blocks=(
+                MatrixBlock(family="design", targets=(org, dict(org))),
+            ),
+        )
+        path = tmp_path / "dupes.json"
+        path.write_text(suite.to_json())
+        return str(path)
+
+    def test_warnings_pass_by_default(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "lint", self.warning_suite(tmp_path))
+        assert code == 0
+        assert "suite-duplicate" in out
+
+    def test_strict_promotes_warnings_to_failures(self, capsys, tmp_path):
+        code, _, _ = run_cli(
+            capsys, "lint", self.warning_suite(tmp_path), "--strict"
+        )
+        assert code == 1
+
+    def test_error_findings_fail_without_strict(self, capsys, tmp_path):
+        spec = builtin_suite("smoke").to_dict()
+        spec["blocks"][0]["policies"] = [{"engine": "warp"}]
+        path = tmp_path / "doomed.json"
+        path.write_text(json.dumps(spec))
+        code, out, _ = run_cli(capsys, "lint", str(path), "--json")
+        assert code == 1
+        data = json.loads(out)
+        assert data["counts"]["error"] >= 1
+        assert any(
+            f["rule"] == "suite-engine" for f in data["findings"]
+        )
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_the_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "lint",
+            "16x2K",
+            "--json",
+            "--rules",
+            "design-coverage,design-placement",
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert sorted(data["rules_run"]) == [
+            "design-coverage",
+            "design-placement",
+        ]
+
+    def test_skip_flag_excludes_a_rule(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "16x2K", "--json", "--skip", "tsc-self-testing"
+        )
+        assert code == 0
+        assert "tsc-self-testing" not in json.loads(out)["rules_run"]
+
+    def test_unknown_rule_id_is_rejected(self, capsys):
+        code, _, err = run_cli(
+            capsys, "lint", "16x2K", "--rules", "no-such-rule"
+        )
+        assert code == 1
+        assert "unknown rule id" in err
+        assert "--list-rules" in err
+
+
+class TestHardenedErrorPaths:
+    def test_missing_target(self, capsys):
+        code, _, err = run_cli(capsys, "lint")
+        assert code == 1
+        assert err.startswith("error:")
+        assert "target is required" in err
+
+    def test_unresolvable_target_is_one_line(self, capsys):
+        code, _, err = run_cli(capsys, "lint", "not-a-thing")
+        assert code == 1
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_json_file(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code, _, err = run_cli(capsys, "lint", str(path))
+        assert code == 1
+        assert "malformed JSON" in err
+        assert "Traceback" not in err
