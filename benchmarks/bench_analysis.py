@@ -6,7 +6,8 @@ circuits + decoder rules + TSC checker proofs) and over the built-in
 ``paper_grid`` suite spec, asserting every target lints in under the
 2 s budget with zero findings.  The payload is written once per run and
 appended to a persistent history trajectory, so the analyzer's cost is
-tracked commit over commit.
+tracked commit over commit (``repro analytics regress`` gates it in
+CI).
 
 Usage::
 
@@ -23,6 +24,7 @@ import time
 
 from repro import __version__
 from repro.analysis import analyze
+from repro.analytics.history import append_entry
 from repro.design.spec import DesignSpec
 from repro.memory.organization import PAPER_ORGS
 from repro.suite import builtin_suite
@@ -89,12 +91,7 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     if args.history:
-        entry = dict(payload, timestamp=round(time.time(), 1))
-        with open(args.history, "a") as handle:
-            json.dump(
-                entry, handle, sort_keys=True, separators=(",", ":")
-            )
-            handle.write("\n")
+        append_entry(args.history, payload)
 
     failures = []
     for bench in benches:

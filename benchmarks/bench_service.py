@@ -7,7 +7,8 @@ verified store hits — and records both wall times, the resume speedup
 and the pure request-path overhead (a health round trip).  Like
 ``bench_suite.py`` the payload is written once per run and appended to
 a persistent history trajectory, so the traffic layer's overhead is
-tracked commit over commit.
+tracked commit over commit (``repro analytics regress`` gates it in
+CI).
 
 Usage::
 
@@ -24,6 +25,7 @@ import tempfile
 import time
 
 from repro import __version__
+from repro.analytics.history import append_entry
 from repro.service import CampaignService, ServiceClient, serving
 
 
@@ -89,12 +91,7 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     if args.history:
-        entry = dict(payload, timestamp=round(time.time(), 1))
-        with open(args.history, "a") as handle:
-            json.dump(
-                entry, handle, sort_keys=True, separators=(",", ":")
-            )
-            handle.write("\n")
+        append_entry(args.history, payload)
 
     for bench in benches:
         flag = "ok " if bench["resumed_all_verified_hits"] else "MISMATCH"

@@ -6,7 +6,7 @@ verified hits without invoking the simulator — and records both wall
 times plus the resume speedup.  Like ``run_campaigns.py`` the payload
 is written once per run and appended to a persistent history
 trajectory, so the batch layer's overhead is tracked commit over
-commit.
+commit (``repro analytics regress`` gates it in CI).
 
 Usage::
 
@@ -23,6 +23,7 @@ import tempfile
 import time
 
 from repro import __version__
+from repro.analytics.history import append_entry
 from repro.suite import SuiteRunner, builtin_suite
 
 
@@ -80,12 +81,7 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     if args.history:
-        entry = dict(payload, timestamp=round(time.time(), 1))
-        with open(args.history, "a") as handle:
-            json.dump(
-                entry, handle, sort_keys=True, separators=(",", ":")
-            )
-            handle.write("\n")
+        append_entry(args.history, payload)
 
     for bench in benches:
         flag = "ok " if bench["resumed_all_verified_hits"] else "MISMATCH"

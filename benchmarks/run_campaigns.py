@@ -10,7 +10,8 @@ also run on the ``vector`` lane-array engine (``vector_*`` columns) and
 a million-cycle scheme bench exercises its chunked windows against the
 packed engine; without NumPy those columns are omitted and the run
 still succeeds.  The JSON this writes is the perf trajectory baseline
-tracked from PR 2 onward; CI executes it on every push.
+tracked from PR 2 onward; CI executes it on every push and gates the
+appended history with ``repro analytics regress``.
 
 Usage::
 
@@ -27,6 +28,7 @@ import sys
 import time
 
 from repro import __version__
+from repro.analytics.history import append_entry
 from repro.checkers.m_out_of_n_checker import MOutOfNChecker
 from repro.codes.m_out_of_n import MOutOfNCode
 from repro.core.mapping import mapping_for_code
@@ -388,12 +390,7 @@ def main(argv=None) -> int:
     if args.history:
         # append-only trajectory: one compact line per run, so speedups
         # are comparable across versions/commits without scraping CI logs
-        entry = dict(payload, timestamp=round(time.time(), 1))
-        with open(args.history, "a") as handle:
-            json.dump(
-                entry, handle, sort_keys=True, separators=(",", ":")
-            )
-            handle.write("\n")
+        append_entry(args.history, payload)
 
     width = max(len(b["name"]) for b in benches)
     for b in benches:

@@ -63,6 +63,10 @@ Layer map
                    TSC property prover — ``analyze(obj)`` over netlists,
                    checkers, decoders, built memories and suite specs
                    (``repro lint``)
+``repro.analytics`` the trend layer: bench-history loading, windowed
+                   regression detection, provenance-grouped store/
+                   service trends, JSON + HTML reporting
+                   (``repro analytics regress|report``)
 ``repro.experiments``  regenerators for every table/figure of the paper
 =================  ========================================================
 
@@ -112,6 +116,16 @@ Static-analysis quick path (1.8+)::
     print(report.render())               # ...or report.to_json()
     # CLI: `repro lint 16x2K --strict`; build-time gate:
     # `DesignEngine().build(spec, lint=True)` raises AnalysisError
+
+Trend-analytics quick path (1.9+)::
+
+    from repro.analytics import build_report, run_regress
+
+    gate = run_regress("BENCH_*.history.jsonl")   # windowed baselines
+    assert gate.ok, gate.render()                 # exit-2 contract
+    html = build_report(store=".repro-store").to_html()
+    # CLI: `repro analytics regress` (CI's bench-regress gate) and
+    # `repro analytics report --out report.html`
 """
 
 from repro.analysis import AnalysisError, AnalysisReport, analyze
@@ -160,7 +174,7 @@ from repro.scenarios import (
 )
 from repro.service import CampaignService, ServiceClient
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",

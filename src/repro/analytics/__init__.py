@@ -1,0 +1,79 @@
+"""`repro.analytics` — the read side of the bench/artifact record.
+
+Every push *writes* four ``BENCH_*.history.jsonl`` trajectories and a
+provenance-stamped result store; this package *reads* them:
+
+* :mod:`~repro.analytics.history` — the shared history-append helper
+  (timestamp + git SHA stamping) and the drift-tolerant loader that
+  turns every trajectory into typed
+  :class:`~repro.analytics.model.TrendSeries`;
+* :mod:`~repro.analytics.regress` — cross-version regression
+  detection: median-of-trailing-window baselines, per-metric polarity
+  (speedup/coverage higher-is-better hard, wall seconds
+  lower-is-better warn-only) and tolerance bands;
+* :mod:`~repro.analytics.trends` — coverage/latency trend queries
+  over :class:`~repro.results.store.ResultStore` artifacts grouped by
+  provenance (campaign family, workload label, engine policy), local
+  or over the campaign service's result API;
+* :mod:`~repro.analytics.report` / :mod:`~repro.analytics.html` —
+  the combined JSON + self-contained static HTML report CI uploads.
+
+CLI: ``repro analytics regress`` (exit 0 clean / 2 on any hard
+regression — the ``repro store verify`` contract) and ``repro
+analytics report [--out report.html]``.
+"""
+
+from repro.analytics.history import (
+    HistoryEntry,
+    append_entry,
+    git_sha,
+    load_entries,
+    load_history,
+)
+from repro.analytics.html import render_html
+from repro.analytics.model import (
+    Regression,
+    TrendGroup,
+    TrendPoint,
+    TrendSeries,
+)
+from repro.analytics.regress import (
+    DEFAULT_WINDOW,
+    MetricPolicy,
+    RegressReport,
+    default_policy,
+    detect,
+    known_benches,
+    select_series,
+)
+from repro.analytics.report import (
+    AnalyticsReport,
+    build_report,
+    run_regress,
+)
+from repro.analytics.trends import service_trends, store_trends
+
+__all__ = [
+    "HistoryEntry",
+    "append_entry",
+    "git_sha",
+    "load_entries",
+    "load_history",
+    "render_html",
+    "Regression",
+    "TrendGroup",
+    "TrendPoint",
+    "TrendSeries",
+    "DEFAULT_WINDOW",
+    "MetricPolicy",
+    "RegressReport",
+    "default_policy",
+    "detect",
+    "known_benches",
+    "select_series",
+    "AnalyticsReport",
+    "build_report",
+    "run_regress",
+    "service_trends",
+    "store_trends",
+]

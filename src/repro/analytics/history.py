@@ -1,0 +1,215 @@
+"""Bench-history IO: the shared JSONL append + the tolerant loader.
+
+Write side — :func:`append_entry` is the one history-append helper
+every benchmark uses (``run_campaigns.py``, ``bench_suite.py``,
+``bench_service.py``, ``bench_analysis.py`` used to hand-roll four
+copies of the same block).  It stamps the payload with a timestamp
+*and* the current git SHA, so a regression flagged later is
+attributable to a commit, and writes one compact JSON line.
+
+Read side — :func:`load_entries` / :func:`load_history` parse every
+``BENCH_*.history.jsonl`` trajectory into :class:`HistoryEntry`
+records and one :class:`~repro.analytics.model.TrendSeries` per
+(bench, numeric metric).  The loader is deliberately tolerant of
+schema drift across the four bench families and across versions:
+malformed lines are counted and skipped, booleans and identity
+columns are not metrics, and an entry missing a column (pre-1.7
+records have no ``vector_*``) simply contributes no point to that
+series — never a crash.
+"""
+
+from __future__ import annotations
+
+import glob as globlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analytics.model import TrendPoint, TrendSeries
+
+__all__ = [
+    "git_sha",
+    "append_entry",
+    "HistoryEntry",
+    "load_entries",
+    "expand_history",
+    "load_history",
+]
+
+#: bench-row columns that are identity/configuration, not measurements
+NON_METRIC_FIELDS = frozenset({"name", "kind"})
+
+
+def git_sha() -> Optional[str]:
+    """The short SHA of HEAD, or ``None`` outside a git checkout (a
+    tarball install, a bare CI workspace) — history entries must never
+    fail to append because git is unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def append_entry(
+    path: str,
+    payload: dict,
+    timestamp: Optional[float] = None,
+    sha: Optional[str] = None,
+) -> dict:
+    """Append one bench payload to the history trajectory at ``path``.
+
+    Stamps ``timestamp`` (now, 0.1 s resolution) and ``git_sha`` (the
+    current short SHA, omitted when unavailable) alongside whatever
+    version stamp the payload already carries, then writes the entry
+    as one compact sorted JSON line.  Returns the stamped entry."""
+    entry = dict(payload)
+    entry["timestamp"] = round(
+        time.time() if timestamp is None else timestamp, 1
+    )
+    sha = git_sha() if sha is None else sha
+    if sha:
+        entry["git_sha"] = sha
+    with open(path, "a") as handle:
+        json.dump(entry, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return entry
+
+
+@dataclass
+class HistoryEntry:
+    """One appended bench run: the payload line, parsed and stamped."""
+
+    #: history family — the payload's ``bench`` tag
+    family: str
+    version: str
+    timestamp: Optional[float]
+    git_sha: Optional[str]
+    #: the per-bench measurement rows (each carries ``name``)
+    benches: List[dict] = field(default_factory=list)
+    path: str = ""
+    #: line number within the file (chronological order)
+    index: int = 0
+
+    def label(self) -> str:
+        if self.git_sha:
+            return f"{self.version} @{self.git_sha}"
+        return self.version
+
+
+def load_entries(path: str) -> Tuple[List[HistoryEntry], int]:
+    """``(entries, malformed)`` for one history file.
+
+    Lines that fail to parse, are not JSON objects, or carry no bench
+    rows are counted as malformed and skipped — a truncated append
+    from a crashed run must not poison the whole trajectory."""
+    entries: List[HistoryEntry] = []
+    malformed = 0
+    with open(path) as handle:
+        for index, line in enumerate(handle):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if not isinstance(data, dict):
+                malformed += 1
+                continue
+            benches = data.get("benches")
+            if not isinstance(benches, list):
+                malformed += 1
+                continue
+            entries.append(
+                HistoryEntry(
+                    family=str(data.get("bench") or "?"),
+                    version=str(data.get("version") or "?"),
+                    timestamp=(
+                        data["timestamp"]
+                        if isinstance(
+                            data.get("timestamp"), (int, float)
+                        )
+                        else None
+                    ),
+                    git_sha=(
+                        str(data["git_sha"])
+                        if data.get("git_sha")
+                        else None
+                    ),
+                    benches=[
+                        row for row in benches if isinstance(row, dict)
+                    ],
+                    path=path,
+                    index=index,
+                )
+            )
+    return entries, malformed
+
+
+def expand_history(patterns: Union[str, Sequence[str]]) -> List[str]:
+    """The sorted, deduplicated file list one or more globs match."""
+    if isinstance(patterns, str):
+        patterns = [patterns]
+    paths: List[str] = []
+    for pattern in patterns:
+        paths.extend(globlib.glob(pattern))
+    return sorted(set(paths))
+
+
+def load_history(
+    patterns: Union[str, Sequence[str]],
+) -> Tuple[Dict[str, TrendSeries], List[str], int]:
+    """Parse every matching history file into one series table.
+
+    Returns ``(series_by_name, files, malformed)`` where the table
+    maps ``"<bench>.<metric>"`` to its :class:`TrendSeries`.  Only
+    numeric columns become metrics (bools like ``identical`` are
+    pass/fail gates the bench scripts already enforce; ``name`` and
+    ``kind`` are identity).  Entries missing a column contribute no
+    point to that series, which is how mixed-version histories stay
+    loadable."""
+    series: Dict[str, TrendSeries] = {}
+    malformed = 0
+    files = expand_history(patterns)
+    for path in files:
+        entries, bad = load_entries(path)
+        malformed += bad
+        for entry in entries:
+            for row in entry.benches:
+                bench = str(row.get("name") or "?")
+                for metric, value in row.items():
+                    if metric in NON_METRIC_FIELDS:
+                        continue
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue
+                    key = f"{bench}.{metric}"
+                    slot = series.get(key)
+                    if slot is None:
+                        slot = TrendSeries(
+                            bench=bench,
+                            metric=metric,
+                            family=entry.family,
+                            source=path,
+                        )
+                        series[key] = slot
+                    slot.points.append(
+                        TrendPoint(
+                            value=float(value),
+                            version=entry.version,
+                            timestamp=entry.timestamp,
+                            git_sha=entry.git_sha,
+                            index=entry.index,
+                        )
+                    )
+    return series, files, malformed

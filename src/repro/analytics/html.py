@@ -1,0 +1,218 @@
+"""Self-contained static HTML rendering of an analytics report.
+
+Pure stdlib: one ``<style>`` block, tables, and inline SVG sparklines
+(no JavaScript, no external assets), so CI can upload the file as an
+artifact and it renders anywhere.  Regressions come first (hard in
+red, warnings in amber), then the per-bench history trajectories, then
+the provenance-grouped store trends.
+"""
+
+from __future__ import annotations
+
+import html as htmllib
+from typing import List, Optional, Sequence
+
+from repro.analytics.model import Regression, TrendGroup, TrendSeries
+
+__all__ = ["render_html"]
+
+_STYLE = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1a1a; }
+h1 { font-size: 1.4rem; }  h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0; }
+th, td { text-align: left; padding: .3rem .6rem;
+         border-bottom: 1px solid #e0e0e0; font-variant-numeric:
+         tabular-nums; }
+th { background: #f5f5f5; font-weight: 600; }
+td.num { text-align: right; }
+.hard { background: #fdecea; }  .hard td:first-child { color: #b3261e;
+       font-weight: 600; }
+.warn { background: #fff4e5; }  .warn td:first-child { color: #8a5300;
+       font-weight: 600; }
+.ok   { color: #1b5e20; font-weight: 600; }
+.meta { color: #666; font-size: .85rem; }
+svg.spark { vertical-align: middle; }
+svg.spark polyline { fill: none; stroke: #4466aa; stroke-width: 1.5; }
+svg.spark circle { fill: #b3261e; }
+code { background: #f5f5f5; padding: 0 .25rem; border-radius: 3px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return htmllib.escape(str(value))
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def sparkline(
+    values: Sequence[float], width: int = 120, height: int = 24
+) -> str:
+    """An inline SVG polyline of the series, last point dotted.
+
+    Flat or single-point series draw a midline — the chart never
+    divides by a zero range."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    pad = 2.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    step = inner_w / max(len(values) - 1, 1)
+    coords = [
+        (
+            pad + index * step,
+            pad + inner_h * (1.0 - (value - low) / span),
+        )
+        for index, value in enumerate(values)
+    ]
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    last_x, last_y = coords[-1]
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2"/></svg>'
+    )
+
+
+def _regressions_section(regressions: List[Regression]) -> List[str]:
+    out = ["<h2>Regressions</h2>"]
+    if not regressions:
+        out.append(
+            '<p class="ok">No regression against the windowed '
+            "baselines.</p>"
+        )
+        return out
+    out.append(
+        "<table><tr><th>severity</th><th>bench</th><th>metric</th>"
+        "<th>baseline</th><th>observed</th><th>change</th>"
+        "<th>blame</th></tr>"
+    )
+    for regression in regressions:
+        css = "hard" if regression.severity == "hard" else "warn"
+        out.append(
+            f'<tr class="{css}"><td>{_esc(regression.severity)}</td>'
+            f"<td>{_esc(regression.bench)}</td>"
+            f"<td>{_esc(regression.metric)}</td>"
+            f'<td class="num">{_fmt(regression.baseline)}</td>'
+            f'<td class="num">{_fmt(regression.observed)}</td>'
+            f'<td class="num">{regression.change_pct:+.1f}%</td>'
+            f"<td>{_esc(regression.before)} → "
+            f"{_esc(regression.after)}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _history_section(series: List[TrendSeries]) -> List[str]:
+    out = ["<h2>Bench history</h2>"]
+    if not series:
+        out.append('<p class="meta">No history series loaded.</p>')
+        return out
+    by_bench: dict = {}
+    for entry in series:
+        by_bench.setdefault((entry.family, entry.bench), []).append(
+            entry
+        )
+    for (family, bench), rows in sorted(by_bench.items()):
+        out.append(
+            f"<h3>{_esc(bench)} "
+            f'<span class="meta">({_esc(family)})</span></h3>'
+        )
+        out.append(
+            "<table><tr><th>metric</th><th>trend</th><th>first</th>"
+            "<th>last</th><th>points</th><th>last entry</th></tr>"
+        )
+        for entry in sorted(rows, key=lambda s: s.metric):
+            values = entry.values()
+            last = entry.last
+            out.append(
+                f"<tr><td>{_esc(entry.metric)}</td>"
+                f"<td>{sparkline(values)}</td>"
+                f'<td class="num">{_fmt(values[0])}</td>'
+                f'<td class="num">{_fmt(values[-1])}</td>'
+                f'<td class="num">{len(values)}</td>'
+                f"<td>{_esc(last.label() if last else '?')}</td>"
+                f"</tr>"
+            )
+        out.append("</table>")
+    return out
+
+
+def _store_section(groups: List[TrendGroup]) -> List[str]:
+    out = ["<h2>Store trends</h2>"]
+    if not groups:
+        out.append(
+            '<p class="meta">No result store queried (pass '
+            "<code>--store</code> or <code>--url</code>).</p>"
+        )
+        return out
+    for group in groups:
+        out.append(f"<h3>{_esc(group.label())}</h3>")
+        coverage = group.metric_series("coverage").values()
+        latency = group.metric_series(
+            "mean_detection_cycle"
+        ).values()
+        out.append(
+            "<table><tr><th>metric</th><th>trend</th><th>first</th>"
+            "<th>last</th><th>points</th></tr>"
+        )
+        for metric, values in (
+            ("coverage", coverage),
+            ("mean_detection_cycle", latency),
+        ):
+            if not values:
+                continue
+            out.append(
+                f"<tr><td>{_esc(metric)}</td>"
+                f"<td>{sparkline(values)}</td>"
+                f'<td class="num">{_fmt(values[0])}</td>'
+                f'<td class="num">{_fmt(values[-1])}</td>'
+                f'<td class="num">{len(values)}</td></tr>'
+            )
+        out.append("</table>")
+        keys = ", ".join(
+            point["key"][:12] + "…" for point in group.points[-5:]
+        )
+        out.append(
+            f'<p class="meta">{len(group.points)} artifact(s); '
+            f"latest keys: {_esc(keys)}</p>"
+        )
+    return out
+
+
+def render_html(
+    series: List[TrendSeries],
+    regressions: List[Regression],
+    store_groups: List[TrendGroup],
+    title: str = "repro trend analytics",
+    subtitle: str = "",
+    generated_by: Optional[str] = None,
+) -> str:
+    """The full self-contained report page."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if subtitle:
+        parts.append(f'<p class="meta">{_esc(subtitle)}</p>')
+    parts.extend(_regressions_section(regressions))
+    parts.extend(_history_section(series))
+    parts.extend(_store_section(store_groups))
+    if generated_by:
+        parts.append(
+            f'<p class="meta">generated by {_esc(generated_by)}</p>'
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,230 @@
+"""Typed trend model — what every analytics source normalises into.
+
+One :class:`TrendSeries` is the trajectory of a single numeric metric
+of a single bench (``decoder_n6_c512`` x ``vector_speedup``), ordered
+oldest to newest, with each :class:`TrendPoint` carrying the version,
+timestamp and git SHA that produced it.  The four ``BENCH_*`` history
+families and the result-store provenance groups all parse into this
+one shape, so the regression detector and the renderers never see a
+raw JSONL schema.
+
+:class:`Regression` is the detector's structured finding: offending
+bench/metric, the windowed baseline, the observed value, the relative
+change, and the before/after version + SHA pair that makes the erosion
+attributable to a commit.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "POLARITIES",
+    "SEVERITIES",
+    "TrendPoint",
+    "TrendSeries",
+    "Regression",
+    "TrendGroup",
+]
+
+#: direction of goodness for a gated metric
+POLARITIES = ("higher", "lower")
+
+#: regression severities: ``hard`` fails the check (exit 2), ``warn``
+#: is annotation-only (shared runners make raw wall seconds noisy)
+SEVERITIES = ("hard", "warn")
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One measurement of one metric at one point in history."""
+
+    value: float
+    #: repro version that produced the entry (``"?"`` when the record
+    #: predates version stamping)
+    version: str = "?"
+    timestamp: Optional[float] = None
+    #: short git SHA, when the entry was stamped with one (1.9+)
+    git_sha: Optional[str] = None
+    #: position of the owning entry within its history file
+    index: int = 0
+
+    def to_dict(self) -> dict:
+        data: dict = {"value": self.value, "version": self.version}
+        if self.timestamp is not None:
+            data["timestamp"] = self.timestamp
+        if self.git_sha is not None:
+            data["git_sha"] = self.git_sha
+        return data
+
+    def label(self) -> str:
+        """``1.8.0 @abc1234`` — how renderers attribute a point."""
+        if self.git_sha:
+            return f"{self.version} @{self.git_sha}"
+        return self.version
+
+
+@dataclass
+class TrendSeries:
+    """The ordered trajectory of one bench's one metric."""
+
+    bench: str
+    metric: str
+    #: history family (the payload's ``bench`` tag, e.g.
+    #: ``campaign_engines``) or a provenance-group label
+    family: str = ""
+    #: file (or store root) the series was loaded from
+    source: str = ""
+    points: List[TrendPoint] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"{self.bench}.{self.metric}"
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [point.value for point in self.points]
+
+    @property
+    def last(self) -> Optional[TrendPoint]:
+        return self.points[-1] if self.points else None
+
+    def baseline(self, window: int) -> Optional[float]:
+        """Median of the up-to-``window`` points *preceding* the last —
+        the noise-tolerant reference the observed (last) point is
+        judged against.  ``None`` when there is no preceding history
+        (single-entry series never crash, they skip)."""
+        if len(self.points) < 2 or window < 1:
+            return None
+        trailing = self.values()[:-1][-window:]
+        return float(statistics.median(trailing))
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "family": self.family,
+            "source": self.source,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One detected metric erosion, with the evidence attached."""
+
+    bench: str
+    metric: str
+    severity: str
+    polarity: str
+    #: median of the trailing window (the "before" value)
+    baseline: float
+    #: the last point's value (the "after" value)
+    observed: float
+    #: relative change in the *bad* direction, percent (always >= 0)
+    change_pct: float
+    tolerance_pct: float
+    #: how many points the baseline median covered
+    window_used: int
+    #: attribution: where the baseline window ended / what produced
+    #: the observed point (version + SHA labels)
+    before: str = "?"
+    after: str = "?"
+    family: str = ""
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; known: {SEVERITIES}"
+            )
+        if self.polarity not in POLARITIES:
+            raise ValueError(
+                f"unknown polarity {self.polarity!r}; known: {POLARITIES}"
+            )
+
+    def describe(self) -> str:
+        """The one-line finding the CLI prints."""
+        direction = (
+            "dropped" if self.polarity == "higher" else "rose"
+        )
+        return (
+            f"{self.bench} {self.metric} {direction} "
+            f"{self.change_pct:.1f}%: baseline {self.baseline:g} -> "
+            f"observed {self.observed:g} (median of {self.window_used}, "
+            f"tolerance {self.tolerance_pct:g}%) [{self.before} -> "
+            f"{self.after}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "severity": self.severity,
+            "polarity": self.polarity,
+            "baseline": self.baseline,
+            "observed": self.observed,
+            "change_pct": self.change_pct,
+            "tolerance_pct": self.tolerance_pct,
+            "window_used": self.window_used,
+            "before": self.before,
+            "after": self.after,
+            "family": self.family,
+        }
+
+
+@dataclass
+class TrendGroup:
+    """Store artifacts sharing one provenance identity, time-ordered.
+
+    The read side of the artifact layer: every point is one stored
+    campaign's summary (coverage, detection latency, size) keyed by
+    the provenance fields the group was built from — campaign family,
+    workload label, engine policy."""
+
+    #: grouping identity, e.g. {"campaign": "decoder",
+    #: "workload": "uniform(64, 256, seed=3)", "engine": "vector"}
+    key: Dict[str, Optional[str]]
+    #: one dict per stored artifact, sorted by ``created_at``
+    points: List[dict] = field(default_factory=list)
+
+    def label(self) -> str:
+        return " / ".join(
+            str(value) for value in self.key.values() if value
+        ) or "(unlabelled)"
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def metric_series(self, metric: str) -> TrendSeries:
+        """The group's trajectory of one summary metric (``coverage``,
+        ``mean_detection_cycle``) as a regular :class:`TrendSeries`,
+        so store trends render — and gate — exactly like bench
+        history."""
+        points = [
+            TrendPoint(
+                value=float(point[metric]),
+                version=str(point.get("repro_version") or "?"),
+                timestamp=point.get("created_at"),
+                index=index,
+            )
+            for index, point in enumerate(self.points)
+            if isinstance(point.get(metric), (int, float))
+            and not isinstance(point.get(metric), bool)
+        ]
+        return TrendSeries(
+            bench=self.label(),
+            metric=metric,
+            family="store",
+            points=points,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key": dict(self.key),
+            "count": len(self.points),
+            "points": list(self.points),
+        }

@@ -1,0 +1,292 @@
+"""Cross-version regression detection over bench trend series.
+
+The detector judges every gated series by comparing its **last** point
+against a **median-of-trailing-window** baseline — never last-point vs
+last-point, so one noisy run on a shared CI runner cannot flake the
+gate.  Which metrics are gated, in which direction, and how hard, is
+the :class:`MetricPolicy` table, not the CI job script:
+
+* ratio metrics (``speedup``/``*_speedup``, ``coverage``) are
+  **higher-is-better, hard** — erosion fails the check (exit 2);
+* throughput (``*_faults_per_sec``, ``*_cells_per_sec``) and raw wall
+  time (``*_s``, ``*_ms``) are **warn-only** — annotated, never
+  failing, because absolute timings on shared runners are noise;
+* counters (``faults``, ``cycles``, ``cells``, ``rules_run``, ...)
+  describe the workload, not performance, and are not gated at all.
+
+``repro analytics regress`` wraps :func:`detect` in the CLI contract
+shared with ``repro store verify``: exit 0 clean, exit 2 on any hard
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analytics.model import Regression, TrendSeries
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "HARD_TOLERANCE_PCT",
+    "WARN_TOLERANCE_PCT",
+    "MetricPolicy",
+    "default_policy",
+    "detect",
+    "RegressReport",
+]
+
+#: trailing-window size the baseline median covers
+DEFAULT_WINDOW = 5
+
+#: default tolerance band for hard (ratio) metrics, percent
+HARD_TOLERANCE_PCT = 25.0
+
+#: default tolerance band for warn-only (wall-clock) metrics, percent
+WARN_TOLERANCE_PCT = 50.0
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric is judged: direction, severity, tolerance."""
+
+    polarity: str  # "higher" | "lower"
+    severity: str  # "hard" | "warn"
+    tolerance_pct: float
+
+    def to_dict(self) -> dict:
+        return {
+            "polarity": self.polarity,
+            "severity": self.severity,
+            "tolerance_pct": self.tolerance_pct,
+        }
+
+
+def default_policy(metric: str) -> Optional[MetricPolicy]:
+    """The built-in policy table, by metric-name convention.
+
+    ``None`` means the metric is tracked in trends but never gated."""
+    if metric == "coverage" or metric.endswith("speedup"):
+        return MetricPolicy("higher", "hard", HARD_TOLERANCE_PCT)
+    if metric.endswith("_per_sec"):
+        return MetricPolicy("higher", "warn", WARN_TOLERANCE_PCT)
+    if metric.endswith("_s") or metric.endswith("_ms"):
+        return MetricPolicy("lower", "warn", WARN_TOLERANCE_PCT)
+    return None
+
+
+def _change_pct(
+    policy: MetricPolicy, baseline: float, observed: float
+) -> Optional[float]:
+    """Relative change in the bad direction, percent; ``None`` when the
+    baseline cannot anchor a ratio (zero/negative baselines occur in
+    degenerate synthetic histories, never in real bench output)."""
+    if baseline <= 0:
+        return None
+    if policy.polarity == "higher":
+        return (baseline - observed) / baseline * 100.0
+    return (observed - baseline) / baseline * 100.0
+
+
+def detect(
+    series: Iterable[TrendSeries],
+    window: int = DEFAULT_WINDOW,
+    tolerance_pct: Optional[float] = None,
+    policies: Optional[Dict[str, MetricPolicy]] = None,
+) -> "RegressReport":
+    """Judge every gated series; returns the structured report.
+
+    ``tolerance_pct`` overrides every policy's band (the CLI's
+    ``--tolerance``); ``policies`` overrides/extends the default table
+    per metric name.  Series without a baseline (fewer than two
+    points) are recorded as skips, not errors."""
+    regressions: List[Regression] = []
+    skipped: List[dict] = []
+    checked = 0
+    for entry in sorted(series, key=lambda s: (s.bench, s.metric)):
+        policy = (policies or {}).get(
+            entry.metric, default_policy(entry.metric)
+        )
+        if policy is None:
+            continue
+        if tolerance_pct is not None:
+            policy = MetricPolicy(
+                policy.polarity, policy.severity, tolerance_pct
+            )
+        baseline = entry.baseline(window)
+        last = entry.last
+        if baseline is None or last is None:
+            skipped.append(
+                {
+                    "bench": entry.bench,
+                    "metric": entry.metric,
+                    "reason": f"{len(entry)} point(s), no baseline",
+                }
+            )
+            continue
+        change = _change_pct(policy, baseline, last.value)
+        if change is None:
+            skipped.append(
+                {
+                    "bench": entry.bench,
+                    "metric": entry.metric,
+                    "reason": f"non-positive baseline {baseline:g}",
+                }
+            )
+            continue
+        checked += 1
+        if change <= policy.tolerance_pct:
+            continue
+        window_used = min(window, len(entry) - 1)
+        before = entry.points[-2].label() if len(entry) >= 2 else "?"
+        regressions.append(
+            Regression(
+                bench=entry.bench,
+                metric=entry.metric,
+                severity=policy.severity,
+                polarity=policy.polarity,
+                baseline=round(baseline, 6),
+                observed=round(last.value, 6),
+                change_pct=round(change, 2),
+                tolerance_pct=policy.tolerance_pct,
+                window_used=window_used,
+                before=before,
+                after=last.label(),
+                family=entry.family,
+            )
+        )
+    regressions.sort(
+        key=lambda r: (r.severity != "hard", -r.change_pct)
+    )
+    return RegressReport(
+        regressions=regressions,
+        skipped=skipped,
+        checked=checked,
+        window=window,
+    )
+
+
+@dataclass
+class RegressReport:
+    """What the regression check found, renderable for CLI and CI."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    skipped: List[dict] = field(default_factory=list)
+    #: gated series that had a usable baseline
+    checked: int = 0
+    window: int = DEFAULT_WINDOW
+    #: history files the series came from (stamped by the CLI)
+    files: List[str] = field(default_factory=list)
+    #: malformed history lines skipped by the loader
+    malformed: int = 0
+
+    @property
+    def hard(self) -> List[Regression]:
+        return [r for r in self.regressions if r.severity == "hard"]
+
+    @property
+    def warnings(self) -> List[Regression]:
+        return [r for r in self.regressions if r.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        """No hard regression — warn findings never fail the check."""
+        return not self.hard
+
+    def exit_code(self) -> int:
+        """The ``repro store verify`` contract: 0 clean, 2 on failure."""
+        return 0 if self.ok else 2
+
+    def to_dict(self) -> dict:
+        return {
+            "files": list(self.files),
+            "window": self.window,
+            "checked": self.checked,
+            "malformed_lines": self.malformed,
+            "hard": len(self.hard),
+            "warnings": len(self.warnings),
+            "ok": self.ok,
+            "regressions": [r.to_dict() for r in self.regressions],
+            "skipped": list(self.skipped),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [
+            f"bench regression check — {len(self.files)} history "
+            f"file(s), {self.checked} gated series, window "
+            f"{self.window}"
+        ]
+        for regression in self.regressions:
+            tag = (
+                "HARD" if regression.severity == "hard" else "warn"
+            )
+            lines.append(f"    {tag} {regression.describe()}")
+        if verbose:
+            for skip in self.skipped:
+                lines.append(
+                    f"    skip {skip['bench']} {skip['metric']}: "
+                    f"{skip['reason']}"
+                )
+        if self.malformed:
+            lines.append(
+                f"    note {self.malformed} malformed history "
+                f"line(s) ignored"
+            )
+        if self.ok:
+            suffix = (
+                f" ({len(self.warnings)} warning(s))"
+                if self.warnings
+                else ""
+            )
+            lines.append(
+                f"ok — no hard regression, {len(self.skipped)} series "
+                f"skipped (no baseline){suffix}"
+            )
+        else:
+            lines.append(
+                f"FAIL — {len(self.hard)} hard regression(s), "
+                f"{len(self.warnings)} warning(s)"
+            )
+        return "\n".join(lines)
+
+
+def known_benches(series: Iterable[TrendSeries]) -> List[str]:
+    """Sorted unique bench names — what ``--only``/``--skip`` validate
+    against."""
+    return sorted({entry.bench for entry in series})
+
+
+def select_series(
+    series: Sequence[TrendSeries],
+    only: Optional[Sequence[str]] = None,
+    skip: Optional[Sequence[str]] = None,
+) -> List[TrendSeries]:
+    """Bench-level selection for local bisecting; unknown names raise
+    ``ValueError`` with the known list (the CLI's one-line
+    diagnostic)."""
+    known = set(known_benches(series))
+    unknown = [
+        name
+        for name in list(only or []) + list(skip or [])
+        if name not in known
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown bench name(s) {unknown}; known: "
+            f"{sorted(known)}"
+        )
+    selected = list(series)
+    if only:
+        wanted = set(only)
+        selected = [s for s in selected if s.bench in wanted]
+    if skip:
+        dropped = set(skip)
+        selected = [s for s in selected if s.bench not in dropped]
+    return selected
+
+
+__all__ += ["known_benches", "select_series"]

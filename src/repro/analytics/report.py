@@ -1,0 +1,171 @@
+"""`AnalyticsReport` — one artifact combining history, gate and store.
+
+:func:`build_report` loads the ``BENCH_*.history.jsonl`` trajectories,
+runs the regression detector over them, and (when a store or a
+service client is supplied) attaches the provenance-grouped store
+trends.  The result renders three ways: ``render()`` text for
+terminals, ``to_json()`` for machines, and ``to_html()`` — the
+self-contained page CI uploads on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.analytics.history import load_history
+from repro.analytics.html import render_html
+from repro.analytics.model import TrendGroup, TrendSeries
+from repro.analytics.regress import (
+    DEFAULT_WINDOW,
+    RegressReport,
+    detect,
+    select_series,
+)
+from repro.analytics.trends import service_trends, store_trends
+
+__all__ = ["AnalyticsReport", "build_report", "run_regress"]
+
+
+@dataclass
+class AnalyticsReport:
+    """Everything the read side knows, in one renderable value."""
+
+    series: List[TrendSeries] = field(default_factory=list)
+    regress: RegressReport = field(default_factory=RegressReport)
+    store_groups: List[TrendGroup] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    store_root: Optional[str] = None
+    service_url: Optional[str] = None
+    generated_at: float = 0.0
+    repro_version: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "generated_at": self.generated_at,
+            "repro_version": self.repro_version,
+            "sources": {
+                "history_files": list(self.files),
+                "store": self.store_root,
+                "service": self.service_url,
+            },
+            "regress": self.regress.to_dict(),
+            "series": [entry.to_dict() for entry in self.series],
+            "store_trends": [
+                group.to_dict() for group in self.store_groups
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_html(self) -> str:
+        sources = [f"{len(self.files)} history file(s)"]
+        if self.store_root:
+            sources.append(f"store {self.store_root}")
+        if self.service_url:
+            sources.append(f"service {self.service_url}")
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M", time.localtime(self.generated_at)
+        )
+        return render_html(
+            self.series,
+            self.regress.regressions,
+            self.store_groups,
+            subtitle=f"{' · '.join(sources)} — generated {stamp}",
+            generated_by=f"repro {self.repro_version} "
+            f"analytics report",
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"trend analytics — {len(self.files)} history file(s), "
+            f"{len(self.series)} series, "
+            f"{len(self.store_groups)} store group(s)"
+        ]
+        lines.append(self.regress.render())
+        for group in self.store_groups:
+            coverage = group.metric_series("coverage").values()
+            trajectory = (
+                f"coverage {coverage[0]:g} -> {coverage[-1]:g}"
+                if coverage
+                else "no coverage points"
+            )
+            lines.append(
+                f"    store {group.label()}: {len(group)} "
+                f"artifact(s), {trajectory}"
+            )
+        return "\n".join(lines)
+
+
+def run_regress(
+    history: Union[str, Sequence[str]],
+    window: int = DEFAULT_WINDOW,
+    tolerance_pct: Optional[float] = None,
+    only: Optional[Sequence[str]] = None,
+    skip: Optional[Sequence[str]] = None,
+) -> RegressReport:
+    """Load the matching histories and run the regression gate.
+
+    Raises ``ValueError`` when the glob matches nothing (a typo'd
+    ``--history`` must not pass as "clean") or when ``only``/``skip``
+    name an unknown bench."""
+    series_map, files, malformed = load_history(history)
+    if not files:
+        raise ValueError(
+            f"no history file matches {history!r} — run the "
+            f"benchmarks first (they append BENCH_*.history.jsonl)"
+        )
+    series = select_series(
+        list(series_map.values()), only=only, skip=skip
+    )
+    report = detect(
+        series, window=window, tolerance_pct=tolerance_pct
+    )
+    report.files = files
+    report.malformed = malformed
+    return report
+
+
+def build_report(
+    history: Union[str, Sequence[str]] = "BENCH_*.history.jsonl",
+    store=None,
+    client=None,
+    window: int = DEFAULT_WINDOW,
+    tolerance_pct: Optional[float] = None,
+) -> AnalyticsReport:
+    """The full read-side report over every available source.
+
+    ``store`` is a :class:`ResultStore` (or path) for local trend
+    queries; ``client`` any :class:`~repro.service.client.ServiceAPI`
+    for the same over the wire.  A missing history glob yields an
+    empty-but-valid report here (the report is an observability
+    artifact; only the ``regress`` gate insists on data)."""
+    from repro import __version__
+    from repro.results.store import ResultStore
+
+    series_map, files, malformed = load_history(history)
+    series = list(series_map.values())
+    regress = detect(
+        series, window=window, tolerance_pct=tolerance_pct
+    )
+    regress.files = files
+    regress.malformed = malformed
+    groups: List[TrendGroup] = []
+    store = ResultStore.coerce(store)
+    if store is not None:
+        groups.extend(store_trends(store))
+    if client is not None:
+        groups.extend(service_trends(client))
+    return AnalyticsReport(
+        series=sorted(series, key=lambda s: (s.bench, s.metric)),
+        regress=regress,
+        store_groups=groups,
+        files=files,
+        store_root=getattr(store, "root", None),
+        service_url=getattr(client, "base_url", None),
+        generated_at=time.time(),
+        repro_version=__version__,
+    )

@@ -1,0 +1,167 @@
+"""Trend queries over the result store — and over a running service.
+
+The artifact layer stamps every stored campaign with provenance (key
+material: campaign family, target identity, workload label, engine
+policy) and a summary (coverage, detection latency).  These queries
+are the read side: group the store's entries by their provenance
+fields and order each group by ``created_at``, yielding
+coverage/latency trajectories per (campaign x workload x engine)
+identity — without parsing a single JSONL payload (metadata only, so
+a thousand-artifact store scans in milliseconds).
+
+:func:`service_trends` is the same query executed over the campaign
+service's result-query surface (``GET /jobs`` + ``GET
+/results/{key}``): any :class:`~repro.service.client.ServiceAPI`
+implementation works — the urllib client against a live ``repro
+serve`` or the in-process test double — which makes the analytics
+layer the first real remote consumer of that API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analytics.model import TrendGroup
+
+__all__ = [
+    "GROUP_FIELDS",
+    "store_trends",
+    "service_trends",
+]
+
+#: provenance fields a store group is keyed on, in render order
+GROUP_FIELDS = ("campaign", "target", "workload", "engine")
+
+
+def _target_label(target: object) -> Optional[str]:
+    """A short code-family label from the key material's target dict:
+    the structural type when one is recorded, else the top-level
+    shape (decoder campaigns key on ``{checked, checker}``)."""
+    if not isinstance(target, dict):
+        return None
+    if isinstance(target.get("type"), str):
+        label = target["type"]
+        if isinstance(target.get("organization"), str):
+            label += f"[{target['organization']}]"
+        return label
+    checked = target.get("checked")
+    if isinstance(checked, dict) and isinstance(
+        checked.get("type"), str
+    ):
+        return checked["type"]
+    return None
+
+
+def _summary_point(key: str, meta: dict) -> dict:
+    summary = meta.get("summary") or {}
+    return {
+        "key": key,
+        "created_at": meta.get("created_at"),
+        "repro_version": meta.get("repro_version") or "?",
+        "faults": summary.get("faults"),
+        "detected": summary.get("detected"),
+        "coverage": summary.get("coverage"),
+        "mean_detection_cycle": summary.get("mean_detection_cycle"),
+        "cycles_simulated": summary.get("cycles_simulated"),
+        "engine": summary.get("engine"),
+    }
+
+
+def _grouped(
+    rows: Sequence[Tuple[Dict[str, Optional[str]], dict]],
+    group_by: Sequence[str],
+) -> List[TrendGroup]:
+    groups: Dict[Tuple, TrendGroup] = {}
+    for identity, point in rows:
+        key = {name: identity.get(name) for name in group_by}
+        bucket = tuple(key.values())
+        group = groups.get(bucket)
+        if group is None:
+            group = TrendGroup(key=key)
+            groups[bucket] = group
+        group.points.append(point)
+    for group in groups.values():
+        group.points.sort(
+            key=lambda point: (
+                point.get("created_at") or 0.0,
+                point["key"],
+            )
+        )
+    return sorted(
+        groups.values(),
+        key=lambda group: tuple(
+            str(value or "") for value in group.key.values()
+        ),
+    )
+
+
+def store_trends(
+    store, group_by: Sequence[str] = GROUP_FIELDS
+) -> List[TrendGroup]:
+    """Provenance-grouped trends over a :class:`ResultStore`.
+
+    ``group_by`` picks which of :data:`GROUP_FIELDS` form the group
+    identity (fewer fields = coarser groups).  Shard checkpoints are
+    excluded; entries whose metadata is unreadable are skipped."""
+    unknown = [name for name in group_by if name not in GROUP_FIELDS]
+    if unknown:
+        raise ValueError(
+            f"unknown group field(s) {unknown}; known: "
+            f"{list(GROUP_FIELDS)}"
+        )
+    rows: List[Tuple[Dict[str, Optional[str]], dict]] = []
+    for key in store.keys():
+        meta = store.meta(key)
+        if meta is None:
+            continue
+        material = meta.get("material") or {}
+        workload = material.get("workload") or {}
+        policy = material.get("policy") or {}
+        summary = meta.get("summary") or {}
+        identity: Dict[str, Optional[str]] = {
+            "campaign": meta.get("campaign")
+            or material.get("campaign"),
+            "target": _target_label(material.get("target")),
+            "workload": workload.get("label"),
+            "engine": policy.get("engine") or summary.get("engine"),
+        }
+        rows.append((identity, _summary_point(key, meta)))
+    return _grouped(rows, group_by)
+
+
+def service_trends(
+    client, group_by: Sequence[str] = ("campaign", "engine")
+) -> List[TrendGroup]:
+    """The same query over a running campaign service.
+
+    Walks ``client.jobs()`` for result keys, fetches each campaign
+    artifact's metadata with ``client.result(key)``, and groups by
+    campaign family + engine (the fields the wire metadata carries).
+    Design-report entries are skipped — they have no campaign
+    summary."""
+    allowed = ("campaign", "engine")
+    unknown = [name for name in group_by if name not in allowed]
+    if unknown:
+        raise ValueError(
+            f"unknown group field(s) {unknown} for a service source; "
+            f"known: {list(allowed)}"
+        )
+    keys: List[str] = []
+    seen = set()
+    for job in client.jobs():
+        for key in job.get("result_keys") or ():
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    rows: List[Tuple[Dict[str, Optional[str]], dict]] = []
+    for key in keys:
+        meta = client.result(key)
+        if not isinstance(meta, dict) or meta.get("kind") != "campaign":
+            continue
+        summary = meta.get("summary") or {}
+        identity: Dict[str, Optional[str]] = {
+            "campaign": meta.get("campaign"),
+            "engine": summary.get("engine"),
+        }
+        rows.append((identity, _summary_point(meta["key"], meta)))
+    return _grouped(rows, group_by)

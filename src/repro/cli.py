@@ -395,6 +395,80 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+# -- trend analytics: `repro analytics regress|report` -----------------------
+
+
+def _validate_analytics_args(args: argparse.Namespace) -> None:
+    if args.window < 1:
+        raise ValueError(f"--window must be >= 1, got {args.window}")
+    if args.tolerance is not None and args.tolerance < 0:
+        raise ValueError(
+            f"--tolerance must be >= 0, got {args.tolerance:g}"
+        )
+
+
+def _cmd_analytics_regress(args: argparse.Namespace) -> int:
+    from repro.analytics import run_regress
+
+    _validate_analytics_args(args)
+    report = run_regress(
+        args.history or DEFAULT_HISTORY_GLOB,
+        window=args.window,
+        tolerance_pct=args.tolerance,
+        only=_split_rule_ids(args.only),
+        skip=_split_rule_ids(args.skip),
+    )
+    _emit(
+        args,
+        report.to_json(indent=2)
+        if args.json
+        else report.render(verbose=args.verbose),
+    )
+    return report.exit_code()
+
+
+def _cmd_analytics_report(args: argparse.Namespace) -> int:
+    from repro.analytics import build_report
+
+    _validate_analytics_args(args)
+    store = None
+    if args.store:
+        if not os.path.isdir(args.store):
+            raise ValueError(
+                f"no result store at {args.store!r} (create one by "
+                f"running a campaign command with --store "
+                f"{args.store})"
+            )
+        from repro.results import ResultStore
+
+        store = ResultStore(args.store)
+    client = None
+    if args.url:
+        from repro.service import ServiceClient
+
+        client = ServiceClient(args.url)
+    report = build_report(
+        args.history or DEFAULT_HISTORY_GLOB,
+        store=store,
+        client=client,
+        window=args.window,
+        tolerance_pct=args.tolerance,
+    )
+    if args.json:
+        _emit(args, report.to_json(indent=2))
+    elif args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_html())
+        print(f"wrote {args.out}")
+    else:
+        _emit(args, report.render())
+    return 0
+
+
+#: what `repro analytics` reads when --history is not given
+DEFAULT_HISTORY_GLOB = "BENCH_*.history.jsonl"
+
+
 # -- artifact-store inspection: `repro results ls|show|diff|export` ----------
 
 
@@ -1010,6 +1084,20 @@ static analysis (1.8):
   repro lint spec.json --json --out r.json
                                          stable JSON findings for CI
   repro lint --list-rules                every registered rule id
+
+trend analytics (1.9):
+  repro analytics regress                gate the BENCH_*.history.jsonl
+                                         trajectories: exit 2 when a
+                                         ratio metric (speedup,
+                                         coverage) erodes past its
+                                         tolerance vs the windowed
+                                         baseline
+  repro analytics regress --only scheme_64x8_c300 --window 3
+                                         bisect one bench locally
+  repro analytics report --store S --out report.html
+                                         self-contained HTML: history
+                                         sparklines + provenance-
+                                         grouped store trends
 """
 
 
@@ -1342,6 +1430,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_url_option(fetch)
     _add_output_options(fetch)
     fetch.set_defaults(func=_cmd_fetch)
+
+    analytics = sub.add_parser(
+        "analytics",
+        help="bench/store trend analytics and the CI regression gate",
+    )
+    analytics_sub = analytics.add_subparsers(
+        dest="analytics_command", required=True
+    )
+    regress = analytics_sub.add_parser(
+        "regress",
+        help="flag metric erosion vs a windowed baseline "
+        "(exit 2 on any hard regression)",
+        description=(
+            "Compare every bench history's last entry against a "
+            "median-of-trailing-window baseline.  Ratio metrics "
+            "(speedup, coverage) fail hard; raw wall seconds are "
+            "warn-only annotations (shared runners are noisy).  "
+            "Exit 0 clean, 2 on any hard regression — the `repro "
+            "store verify` contract."
+        ),
+    )
+    report_cmd = analytics_sub.add_parser(
+        "report",
+        help="combined JSON/HTML trend report over histories, a "
+        "store, or a running service",
+        description=(
+            "Render the read side in one artifact: history "
+            "sparklines, regression findings, and coverage/latency "
+            "trends over store artifacts grouped by provenance "
+            "(campaign family, workload label, engine policy).  "
+            "--out writes the self-contained HTML page; --json the "
+            "machine payload."
+        ),
+    )
+    for sub_parser in (regress, report_cmd):
+        sub_parser.add_argument(
+            "--history",
+            action="append",
+            metavar="GLOB",
+            help="history trajectory glob (repeatable; default "
+            f"{DEFAULT_HISTORY_GLOB!r})",
+        )
+        sub_parser.add_argument(
+            "--window",
+            type=int,
+            default=5,
+            metavar="K",
+            help="baseline = median of the K entries before the "
+            "last (default 5)",
+        )
+        sub_parser.add_argument(
+            "--tolerance",
+            type=float,
+            default=None,
+            metavar="PCT",
+            help="override every metric's tolerance band, percent "
+            "(default: 25 for hard ratio metrics, 50 for warn-only "
+            "wall metrics)",
+        )
+        _add_output_options(sub_parser)
+    regress.add_argument(
+        "--only",
+        action="append",
+        metavar="BENCH[,BENCH...]",
+        help="gate only these benches (repeatable, comma-separable; "
+        "unknown names fail fast)",
+    )
+    regress.add_argument(
+        "--skip",
+        action="append",
+        metavar="BENCH[,BENCH...]",
+        help="exclude these benches (repeatable, comma-separable)",
+    )
+    regress.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list the series skipped for lack of a baseline",
+    )
+    regress.set_defaults(func=_cmd_analytics_regress)
+    report_cmd.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="result store to trend over, grouped by provenance "
+        "(optional)",
+    )
+    report_cmd.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="query a running `repro serve` for its artifacts "
+        "instead of (or besides) a local store",
+    )
+    report_cmd.set_defaults(func=_cmd_analytics_report)
 
     registry = sub.add_parser(
         "registry", help="list pluggable codes/checkers/mappings/decoders"

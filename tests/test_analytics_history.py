@@ -1,0 +1,186 @@
+"""`repro.analytics.history` — the shared history-append helper and
+the drift-tolerant JSONL loader: stamping (timestamp + git SHA),
+malformed-line accounting, and mixed-version column handling."""
+
+import json
+
+from repro.analytics.history import (
+    append_entry,
+    expand_history,
+    git_sha,
+    load_entries,
+    load_history,
+)
+
+
+def payload(**rows):
+    benches = [dict(row, name=name) for name, row in rows.items()]
+    return {"bench": "fam", "version": "1.9.0", "benches": benches}
+
+
+class TestAppendEntry:
+    def test_stamps_timestamp_and_returns_entry(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        entry = append_entry(
+            str(path), payload(b={"x": 1.0}), timestamp=12.345, sha="abc"
+        )
+        assert entry["timestamp"] == 12.3
+        assert entry["git_sha"] == "abc"
+        assert entry["version"] == "1.9.0"
+        # the input payload is not mutated
+        assert "timestamp" not in payload(b={"x": 1.0})
+
+    def test_writes_one_compact_sorted_line_per_call(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_entry(str(path), payload(b={"x": 1.0}), sha="a1")
+        append_entry(str(path), payload(b={"x": 2.0}), sha="a2")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert "\n" not in line and ": " not in line
+            keys = list(json.loads(line))
+            assert keys == sorted(keys)
+
+    def test_sha_omitted_when_unavailable(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        entry = append_entry(str(path), payload(), sha="")
+        assert "git_sha" not in entry
+        assert "git_sha" not in json.loads(path.read_text())
+
+    def test_default_sha_comes_from_git(self, tmp_path):
+        # the test process runs inside the repo checkout, so the
+        # default stamp is the real short SHA
+        entry = append_entry(str(tmp_path / "h.jsonl"), payload())
+        assert entry.get("git_sha") == git_sha()
+
+    def test_git_sha_is_none_outside_a_checkout(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert git_sha() is None
+
+
+class TestLoadEntries:
+    def test_empty_file_loads_empty(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("")
+        assert load_entries(str(path)) == ([], 0)
+
+    def test_malformed_lines_are_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        good = json.dumps(payload(b={"x": 1.0}))
+        path.write_text(
+            "\n".join(
+                [
+                    "{not json",  # parse error
+                    '"a string"',  # not an object
+                    '{"bench": "fam"}',  # no bench rows
+                    "",  # blank lines are not malformed
+                    good,
+                ]
+            )
+            + "\n"
+        )
+        entries, malformed = load_entries(str(path))
+        assert malformed == 3
+        assert len(entries) == 1
+        assert entries[0].family == "fam"
+        assert entries[0].index == 4
+
+    def test_fields_parse_with_defaults(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            json.dumps({"benches": [{"name": "b", "x": 1}, "junk"]})
+            + "\n"
+        )
+        (entry,), _ = load_entries(str(path))
+        assert entry.family == "?"
+        assert entry.version == "?"
+        assert entry.timestamp is None
+        assert entry.git_sha is None
+        assert entry.benches == [{"name": "b", "x": 1}]
+        assert entry.label() == "?"
+
+    def test_label_carries_the_sha(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_entry(str(path), payload(), sha="feedbee")
+        (entry,), _ = load_entries(str(path))
+        assert entry.label() == "1.9.0 @feedbee"
+
+
+class TestLoadHistory:
+    def test_series_keyed_by_bench_and_metric(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_entry(
+            str(path),
+            payload(b1={"wall_s": 0.5}, b2={"wall_s": 0.7}),
+            sha="s1",
+        )
+        series, files, malformed = load_history(str(path))
+        assert files == [str(path)]
+        assert malformed == 0
+        assert set(series) == {"b1.wall_s", "b2.wall_s"}
+        entry = series["b1.wall_s"]
+        assert entry.name == "b1.wall_s"
+        assert entry.family == "fam"
+        assert entry.source == str(path)
+        assert entry.values() == [0.5]
+
+    def test_mixed_versions_missing_columns_stay_loadable(
+        self, tmp_path
+    ):
+        # pre-1.7 entries have no vector_* columns: the vector series
+        # is simply shorter, never a crash or a None point
+        path = tmp_path / "h.jsonl"
+        old = {
+            "bench": "campaign_engines",
+            "version": "1.6.0",
+            "benches": [{"name": "d", "speedup": 30.0}],
+        }
+        new = {
+            "bench": "campaign_engines",
+            "version": "1.7.0",
+            "benches": [
+                {"name": "d", "speedup": 31.0, "vector_speedup": 120.0}
+            ],
+        }
+        append_entry(str(path), old, sha="")
+        append_entry(str(path), new, sha="")
+        series, _, _ = load_history(str(path))
+        assert series["d.speedup"].values() == [30.0, 31.0]
+        assert series["d.vector_speedup"].values() == [120.0]
+        assert series["d.vector_speedup"].points[0].version == "1.7.0"
+
+    def test_bools_and_identity_columns_are_not_metrics(
+        self, tmp_path
+    ):
+        path = tmp_path / "h.jsonl"
+        append_entry(
+            str(path),
+            payload(
+                b={
+                    "identical": True,
+                    "kind": "design",
+                    "label": "text",
+                    "faults": 252,
+                }
+            ),
+            sha="",
+        )
+        series, _, _ = load_history(str(path))
+        assert set(series) == {"b.faults"}
+
+    def test_multiple_globs_dedupe(self, tmp_path):
+        path = tmp_path / "BENCH_a.history.jsonl"
+        append_entry(str(path), payload(b={"x": 1.0}), sha="")
+        pattern = str(tmp_path / "BENCH_*.history.jsonl")
+        assert expand_history([pattern, str(path)]) == [str(path)]
+        series, files, _ = load_history([pattern, str(path)])
+        assert files == [str(path)]
+        assert series["b.x"].values() == [1.0]
+
+    def test_no_match_is_empty_not_an_error(self, tmp_path):
+        series, files, malformed = load_history(
+            str(tmp_path / "nope_*.jsonl")
+        )
+        assert (series, files, malformed) == ({}, [], 0)

@@ -1,0 +1,236 @@
+"""`repro.analytics.regress` — windowed-baseline regression
+detection: the policy table, the median baseline, severity routing,
+and the bench-selection diagnostics."""
+
+import pytest
+
+from repro.analytics.model import Regression, TrendPoint, TrendSeries
+from repro.analytics.regress import (
+    DEFAULT_WINDOW,
+    MetricPolicy,
+    RegressReport,
+    default_policy,
+    detect,
+    known_benches,
+    select_series,
+)
+
+
+def make_series(bench, metric, values, family="fam"):
+    points = [
+        TrendPoint(
+            value=value,
+            version=f"1.{index}.0",
+            git_sha=f"sha{index}",
+            index=index,
+        )
+        for index, value in enumerate(values)
+    ]
+    return TrendSeries(
+        bench=bench, metric=metric, family=family, points=points
+    )
+
+
+class TestBaseline:
+    def test_single_point_has_no_baseline(self):
+        assert make_series("b", "speedup", [10.0]).baseline(5) is None
+
+    def test_median_excludes_the_last_point(self):
+        series = make_series("b", "speedup", [10.0, 20.0, 99.0])
+        assert series.baseline(5) == 15.0
+
+    def test_window_limits_the_trailing_points(self):
+        series = make_series(
+            "b", "speedup", [1.0, 1.0, 30.0, 40.0, 50.0, 99.0]
+        )
+        assert series.baseline(3) == 40.0
+        assert series.baseline(100) == 30.0
+
+    def test_zero_window_is_no_baseline(self):
+        series = make_series("b", "speedup", [1.0, 2.0])
+        assert series.baseline(0) is None
+
+
+class TestDefaultPolicy:
+    def test_ratio_metrics_are_hard_higher(self):
+        for metric in ("coverage", "speedup", "vector_speedup"):
+            policy = default_policy(metric)
+            assert policy == MetricPolicy("higher", "hard", 25.0)
+
+    def test_throughput_is_warn_higher(self):
+        policy = default_policy("faults_per_sec")
+        assert policy == MetricPolicy("higher", "warn", 50.0)
+
+    def test_wall_time_is_warn_lower(self):
+        for metric in ("serial_s", "cold_s", "lint_ms"):
+            policy = default_policy(metric)
+            assert policy == MetricPolicy("lower", "warn", 50.0)
+
+    def test_counters_are_not_gated(self):
+        for metric in ("faults", "cells", "rules_run", "workers"):
+            assert default_policy(metric) is None
+
+
+class TestDetect:
+    def test_injected_drop_vs_baseline_is_a_hard_regression(self):
+        # the acceptance scenario: the observed point lands 30% below
+        # the median of the trailing window (120/123/126 -> 123)
+        series = make_series(
+            "decoder_n6_c512",
+            "vector_speedup",
+            [120.0, 123.0, 126.0, 123.0 * 0.7],
+        )
+        report = detect([series])
+        assert not report.ok
+        assert report.exit_code() == 2
+        (finding,) = report.hard
+        assert finding.bench == "decoder_n6_c512"
+        assert finding.metric == "vector_speedup"
+        assert finding.baseline == 123.0
+        assert finding.observed == 86.1
+        assert finding.change_pct == 30.0
+        assert finding.window_used == 3
+        assert finding.before == "1.2.0 @sha2"
+        assert finding.after == "1.3.0 @sha3"
+        text = finding.describe()
+        for token in ("dropped 30.0%", "baseline 123", "observed 86.1"):
+            assert token in text
+
+    def test_drop_within_tolerance_passes(self):
+        series = make_series(
+            "d", "speedup", [100.0, 100.0, 100.0 * 0.8]
+        )
+        report = detect([series])
+        assert report.ok and not report.regressions
+        assert report.checked == 1
+
+    def test_wall_time_rise_is_warn_only(self):
+        series = make_series("d", "packed_s", [0.01, 0.01, 0.02])
+        report = detect([series])
+        assert report.ok
+        assert report.exit_code() == 0
+        (finding,) = report.warnings
+        assert finding.severity == "warn"
+        assert finding.polarity == "lower"
+        assert "rose 100.0%" in finding.describe()
+
+    def test_single_entry_series_skips_instead_of_crashing(self):
+        report = detect([make_series("d", "speedup", [30.0])])
+        assert report.ok and report.checked == 0
+        (skip,) = report.skipped
+        assert skip == {
+            "bench": "d",
+            "metric": "speedup",
+            "reason": "1 point(s), no baseline",
+        }
+
+    def test_ungated_metrics_are_ignored(self):
+        report = detect([make_series("d", "faults", [10.0, 99.0])])
+        assert report.checked == 0 and not report.regressions
+
+    def test_tolerance_override_tightens_every_band(self):
+        series = make_series("d", "speedup", [100.0, 100.0, 90.0])
+        assert detect([series]).ok
+        report = detect([series], tolerance_pct=5.0)
+        assert not report.ok
+        assert report.hard[0].tolerance_pct == 5.0
+
+    def test_policies_override_gates_a_custom_metric(self):
+        series = make_series("d", "faults", [100.0, 100.0, 10.0])
+        report = detect(
+            [series],
+            policies={"faults": MetricPolicy("higher", "hard", 25.0)},
+        )
+        assert not report.ok
+
+    def test_non_positive_baseline_is_skipped(self):
+        report = detect([make_series("d", "speedup", [0.0, 0.0, 1.0])])
+        assert report.checked == 0
+        assert "non-positive baseline" in report.skipped[0]["reason"]
+
+    def test_hard_findings_sort_before_warnings(self):
+        report = detect(
+            [
+                make_series("a", "cold_s", [0.01, 0.01, 0.09]),
+                make_series("z", "speedup", [100.0, 100.0, 10.0]),
+            ]
+        )
+        severities = [r.severity for r in report.regressions]
+        assert severities == ["hard", "warn"]
+
+
+class TestRegressReport:
+    def test_render_and_dict_round_trip(self):
+        series = make_series(
+            "d", "vector_speedup", [100.0, 100.0, 50.0]
+        )
+        report = detect([series, make_series("d", "speedup", [1.0])])
+        report.files = ["BENCH_x.history.jsonl"]
+        report.malformed = 2
+        text = report.render(verbose=True)
+        assert "HARD d vector_speedup" in text
+        assert "skip d speedup: 1 point(s), no baseline" in text
+        assert "2 malformed history line(s) ignored" in text
+        assert "FAIL — 1 hard regression(s), 0 warning(s)" in text
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["hard"] == 1 and data["warnings"] == 0
+        assert data["malformed_lines"] == 2
+        assert data["files"] == ["BENCH_x.history.jsonl"]
+        assert data["window"] == DEFAULT_WINDOW
+
+    def test_clean_render_mentions_warn_count(self):
+        report = detect(
+            [make_series("d", "cold_s", [0.01, 0.01, 0.09])]
+        )
+        assert "ok — no hard regression" in report.render()
+        assert "(1 warning(s))" in report.render()
+
+    def test_empty_report_is_ok(self):
+        report = RegressReport()
+        assert report.ok and report.exit_code() == 0
+
+
+class TestRegressionValidation:
+    def test_unknown_severity_and_polarity_raise(self):
+        base = dict(
+            bench="b",
+            metric="m",
+            baseline=1.0,
+            observed=2.0,
+            change_pct=1.0,
+            tolerance_pct=25.0,
+            window_used=1,
+        )
+        with pytest.raises(ValueError, match="unknown severity"):
+            Regression(severity="soft", polarity="higher", **base)
+        with pytest.raises(ValueError, match="unknown polarity"):
+            Regression(severity="hard", polarity="sideways", **base)
+
+
+class TestSelection:
+    def series_set(self):
+        return [
+            make_series("a", "speedup", [1.0, 2.0]),
+            make_series("a", "cold_s", [1.0, 2.0]),
+            make_series("b", "speedup", [1.0, 2.0]),
+        ]
+
+    def test_known_benches_are_sorted_unique(self):
+        assert known_benches(self.series_set()) == ["a", "b"]
+
+    def test_only_and_skip_filter_by_bench(self):
+        series = self.series_set()
+        assert {
+            s.bench for s in select_series(series, only=["a"])
+        } == {"a"}
+        assert {
+            s.bench for s in select_series(series, skip=["a"])
+        } == {"b"}
+        assert select_series(series) == series
+
+    def test_unknown_names_fail_fast_with_the_known_list(self):
+        with pytest.raises(ValueError) as err:
+            select_series(self.series_set(), only=["nope"])
+        assert "unknown bench name(s) ['nope']" in str(err.value)
+        assert "known: ['a', 'b']" in str(err.value)

@@ -1,0 +1,144 @@
+"""`repro.analytics.report` / `html` — the combined analytics
+artifact: JSON shape, text render, and the self-contained HTML page."""
+
+import pytest
+
+from repro.analytics.history import append_entry
+from repro.analytics.html import render_html, sparkline
+from repro.analytics.model import Regression, TrendGroup
+from repro.analytics.report import build_report, run_regress
+
+
+def write_history(tmp_path, values, metric="vector_speedup"):
+    path = tmp_path / "BENCH_campaigns.history.jsonl"
+    for index, value in enumerate(values):
+        append_entry(
+            str(path),
+            {
+                "bench": "campaign_engines",
+                "version": f"1.{index}.0",
+                "benches": [{"name": "decoder_n6_c512", metric: value}],
+            },
+            timestamp=float(index),
+            sha=f"sha{index}",
+        )
+    return str(path)
+
+
+class TestRunRegress:
+    def test_missing_glob_is_a_one_line_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no history file matches"):
+            run_regress(str(tmp_path / "BENCH_*.history.jsonl"))
+
+    def test_clean_run_over_real_files(self, tmp_path):
+        path = write_history(tmp_path, [100.0, 101.0, 99.0])
+        report = run_regress(path)
+        assert report.ok and report.files == [path]
+        assert report.checked == 1
+
+    def test_selection_flows_through(self, tmp_path):
+        path = write_history(tmp_path, [100.0, 101.0, 99.0])
+        assert run_regress(path, only=["decoder_n6_c512"]).checked == 1
+        assert run_regress(path, skip=["decoder_n6_c512"]).checked == 0
+        with pytest.raises(ValueError, match="unknown bench"):
+            run_regress(path, only=["nope"])
+
+
+class TestBuildReport:
+    def test_empty_glob_yields_an_empty_valid_report(self, tmp_path):
+        report = build_report(str(tmp_path / "BENCH_*.jsonl"))
+        assert report.series == []
+        assert report.files == []
+        assert report.regress.ok
+        assert report.repro_version
+        assert report.generated_at > 0
+        data = report.to_dict()
+        assert data["sources"] == {
+            "history_files": [],
+            "store": None,
+            "service": None,
+        }
+        assert "trend analytics — 0 history file(s)" in report.render()
+        html = report.to_html()
+        assert "No history series loaded" in html
+        assert "No result store queried" in html
+
+    def test_report_over_history_and_store_path(self, tmp_path):
+        path = write_history(tmp_path, [100.0, 101.0, 40.0])
+        store = tmp_path / "store"
+        store.mkdir()
+        report = build_report(path, store=str(store))
+        assert report.store_root == str(store)
+        assert [s.name for s in report.series] == [
+            "decoder_n6_c512.vector_speedup"
+        ]
+        assert not report.regress.ok
+        data = report.to_dict()
+        assert data["regress"]["hard"] == 1
+        assert data["series"][0]["points"][0]["git_sha"] == "sha0"
+        assert data["store_trends"] == []
+
+    def test_render_mentions_store_groups(self, tmp_path):
+        report = build_report(str(tmp_path / "none_*.jsonl"))
+        report.store_groups = [
+            TrendGroup(
+                key={"campaign": "m"},
+                points=[{"key": "k", "coverage": 1.0}],
+            ),
+            TrendGroup(key={"campaign": "n"}, points=[{"key": "k2"}]),
+        ]
+        text = report.render()
+        assert "store m: 1 artifact(s), coverage 1 -> 1" in text
+        assert "store n: 1 artifact(s), no coverage points" in text
+
+
+class TestHtml:
+    def test_page_is_self_contained(self, tmp_path):
+        path = write_history(tmp_path, [100.0, 101.0, 40.0])
+        html = build_report(path).to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "svg" in html
+        assert "decoder_n6_c512" in html
+        assert 'class="hard"' in html
+        # no external fetches of any kind
+        assert "src=" not in html and "href=" not in html
+        assert "<script" not in html
+
+    def test_sections_render_groups_and_warnings(self):
+        warn = Regression(
+            bench="b",
+            metric="cold_s",
+            severity="warn",
+            polarity="lower",
+            baseline=1.0,
+            observed=2.0,
+            change_pct=100.0,
+            tolerance_pct=50.0,
+            window_used=2,
+        )
+        group = TrendGroup(
+            key={"campaign": "march", "engine": "packed"},
+            points=[
+                {
+                    "key": "k" * 20,
+                    "coverage": 1.0,
+                    "mean_detection_cycle": 2.0,
+                    "created_at": 1.0,
+                    "repro_version": "1.9.0",
+                }
+            ],
+        )
+        html = render_html([], [warn], [group], subtitle="sub")
+        assert 'class="warn"' in html
+        assert "march / packed" in html
+        assert "mean_detection_cycle" in html
+        assert "sub" in html
+        assert "kkkkkkkkkkkk…" in html
+
+    def test_sparkline_edge_cases(self):
+        assert sparkline([]) == ""
+        single = sparkline([1.0])
+        assert "<svg" in single and "circle" in single
+        flat = sparkline([2.0, 2.0, 2.0])
+        assert "polyline" in flat  # zero range must not divide by 0
+        assert sparkline([1.0, 2.0, 3.0]).count(",") >= 3

@@ -1,0 +1,203 @@
+"""`repro.analytics.trends` — provenance-grouped trend queries over
+a result store and over the campaign service's result API."""
+
+import pytest
+
+from repro.analytics.model import TrendGroup
+from repro.analytics.trends import service_trends, store_trends
+from repro.results import ResultStore
+from repro.service import CampaignService, InProcessClient
+
+from test_suite import tiny_suite
+
+
+def meta(campaign, workload, engine, coverage, created_at, key=""):
+    return {
+        "campaign": campaign,
+        "repro_version": "1.9.0",
+        "created_at": created_at,
+        "material": {
+            "campaign": campaign,
+            "target": {"type": "BehavioralRAM", "organization": "8x64"},
+            "workload": {"label": workload},
+            "policy": {"engine": engine},
+        },
+        "summary": {
+            "faults": 10,
+            "detected": int(coverage * 10),
+            "coverage": coverage,
+            "mean_detection_cycle": 1.5,
+            "cycles_simulated": 64,
+            "engine": engine,
+        },
+    }
+
+
+class FakeStore:
+    def __init__(self, metas):
+        self._metas = metas
+
+    def keys(self):
+        return sorted(self._metas)
+
+    def meta(self, key):
+        return self._metas[key]
+
+
+class TestStoreTrends:
+    def test_groups_by_provenance_and_orders_by_created_at(self):
+        store = FakeStore(
+            {
+                "k2": meta("march", "mats", "packed", 0.9, 20.0),
+                "k1": meta("march", "mats", "packed", 1.0, 10.0),
+                "k3": meta("march", "mats", "vector", 1.0, 30.0),
+            }
+        )
+        groups = store_trends(store)
+        assert [group.key["engine"] for group in groups] == [
+            "packed",
+            "vector",
+        ]
+        packed = groups[0]
+        assert packed.key == {
+            "campaign": "march",
+            "target": "BehavioralRAM[8x64]",
+            "workload": "mats",
+            "engine": "packed",
+        }
+        assert [p["key"] for p in packed.points] == ["k1", "k2"]
+        assert packed.metric_series("coverage").values() == [1.0, 0.9]
+
+    def test_coarser_group_by_merges(self):
+        store = FakeStore(
+            {
+                "k1": meta("march", "mats", "packed", 1.0, 10.0),
+                "k2": meta("march", "other", "packed", 0.9, 20.0),
+            }
+        )
+        (group,) = store_trends(store, group_by=("campaign",))
+        assert group.key == {"campaign": "march"}
+        assert len(group) == 2
+
+    def test_unreadable_meta_is_skipped(self):
+        store = FakeStore(
+            {"k1": meta("m", "w", "e", 1.0, 1.0), "k2": None}
+        )
+        (group,) = store_trends(store)
+        assert [p["key"] for p in group.points] == ["k1"]
+
+    def test_decoder_target_label_uses_the_checked_type(self):
+        entry = meta("decoder", "exhaustive", "packed", 1.0, 1.0)
+        entry["material"]["target"] = {
+            "checked": {"type": "FlatDecoder"},
+            "checker": {"type": "Parity"},
+        }
+        (group,) = store_trends(FakeStore({"k": entry}))
+        assert group.key["target"] == "FlatDecoder"
+
+    def test_unlabelable_target_is_none(self):
+        entry = meta("x", "w", "e", 1.0, 1.0)
+        entry["material"]["target"] = ["not", "a", "dict"]
+        (group,) = store_trends(FakeStore({"k": entry}))
+        assert group.key["target"] is None
+
+    def test_unknown_group_field_raises(self):
+        with pytest.raises(ValueError, match="unknown group field"):
+            store_trends(FakeStore({}), group_by=("campaign", "moon"))
+        assert store_trends(FakeStore({})) == []
+
+    def test_over_a_real_result_store(self, tmp_path):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        out = str(tmp_path / "march.json")
+        assert main(["march", "--store", store, "--json", "--out", out]) == 0
+        groups = store_trends(ResultStore(store))
+        assert groups, "march left no stored campaigns"
+        for group in groups:
+            assert group.key["campaign"] == "march"
+            assert group.key["target"] == "BehavioralRAM[8x64]"
+            assert group.metric_series("coverage").values()
+
+
+class TestTrendGroup:
+    def test_metric_series_skips_missing_and_bool_values(self):
+        group = TrendGroup(
+            key={"campaign": "m"},
+            points=[
+                {"key": "a", "coverage": 1.0, "created_at": 1.0},
+                {"key": "b", "coverage": None},
+                {"key": "c", "coverage": True},
+            ],
+        )
+        series = group.metric_series("coverage")
+        assert series.values() == [1.0]
+        assert series.bench == "m"
+        assert series.family == "store"
+
+    def test_label_and_dict(self):
+        group = TrendGroup(key={"campaign": None, "engine": None})
+        assert group.label() == "(unlabelled)"
+        assert TrendGroup(
+            key={"campaign": "m", "engine": "packed"}
+        ).label() == "m / packed"
+        data = group.to_dict()
+        assert data == {
+            "key": {"campaign": None, "engine": None},
+            "count": 0,
+            "points": [],
+        }
+
+
+class FakeClient:
+    """The result-query surface only: jobs() + result(key)."""
+
+    base_url = "http://fake"
+
+    def __init__(self):
+        self._results = {
+            "c1": dict(
+                meta("march", "w", "packed", 1.0, 1.0),
+                key="c1",
+                kind="campaign",
+            ),
+            "c2": dict(
+                meta("march", "w", "packed", 0.8, 2.0),
+                key="c2",
+                kind="campaign",
+            ),
+            "r1": {"key": "r1", "kind": "report"},
+        }
+
+    def jobs(self):
+        return [
+            {"job_id": "j1", "result_keys": ["c1", "r1"]},
+            {"job_id": "j2", "result_keys": ["c2", "c1"]},  # dup c1
+        ]
+
+    def result(self, key):
+        return self._results[key]
+
+
+class TestServiceTrends:
+    def test_groups_campaign_artifacts_skipping_reports(self):
+        (group,) = service_trends(FakeClient())
+        assert group.key == {"campaign": "march", "engine": "packed"}
+        assert [p["key"] for p in group.points] == ["c1", "c2"]
+        assert group.metric_series("coverage").values() == [1.0, 0.8]
+
+    def test_store_only_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="service source"):
+            service_trends(FakeClient(), group_by=("workload",))
+
+    def test_over_the_in_process_service(self, tmp_path):
+        with CampaignService(str(tmp_path / "store")) as service:
+            client = InProcessClient(service)
+            job = client.submit(tiny_suite())
+            job = client.wait(job["job_id"], timeout=300)
+            assert job["state"] == "done"
+            groups = service_trends(client)
+        campaigns = {group.key["campaign"] for group in groups}
+        assert campaigns == {"transient", "march"}
+        for group in groups:
+            assert group.metric_series("coverage").values()

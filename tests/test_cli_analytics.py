@@ -1,0 +1,313 @@
+"""`repro analytics` — the CLI surface of the trend-analytics layer:
+the regress exit-code contract (0 clean / 2 on hard regression), the
+injected-regression acceptance path, bench selection diagnostics, and
+the report renderers (text, JSON, self-contained HTML)."""
+
+import json
+
+import pytest
+
+from repro.analytics.history import append_entry
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def write_history(path, rows_per_entry):
+    """One file, one entry per dict of {bench_name: {metric: value}}."""
+    for index, rows in enumerate(rows_per_entry):
+        append_entry(
+            str(path),
+            {
+                "bench": "campaign_engines",
+                "version": f"1.{index}.0",
+                "benches": [
+                    dict(metrics, name=name)
+                    for name, metrics in rows.items()
+                ],
+            },
+            timestamp=float(index),
+            sha=f"sha{index}",
+        )
+
+
+def healthy(tmp_path):
+    path = tmp_path / "BENCH_campaigns.history.jsonl"
+    write_history(
+        path,
+        [
+            {"decoder_n6_c512": {"vector_speedup": v, "serial_s": 0.5}}
+            for v in (120.0, 123.0, 126.0)
+        ],
+    )
+    return path
+
+
+class TestRegress:
+    def test_clean_history_exits_zero(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, _ = run_cli(capsys, "analytics", "regress")
+        assert code == 0
+        assert "ok — no hard regression" in out
+        assert "1 history file(s)" in out
+
+    def test_injected_drop_exits_two_naming_the_evidence(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # the acceptance scenario: append one entry whose speedup sits
+        # 30% below the median of the prior points (123 -> 86.1)
+        monkeypatch.chdir(tmp_path)
+        path = healthy(tmp_path)
+        write_history(
+            path, [{"decoder_n6_c512": {"vector_speedup": 86.1}}]
+        )
+        code, out, _ = run_cli(capsys, "analytics", "regress")
+        assert code == 2
+        assert "FAIL — 1 hard regression(s)" in out
+        line = next(ln for ln in out.splitlines() if "HARD" in ln)
+        for token in (
+            "decoder_n6_c512",
+            "vector_speedup",
+            "dropped 30.0%",
+            "baseline 123",
+            "observed 86.1",
+        ):
+            assert token in line
+
+    def test_injected_drop_json_carries_the_same_fields(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        path = healthy(tmp_path)
+        write_history(
+            path, [{"decoder_n6_c512": {"vector_speedup": 86.1}}]
+        )
+        code, out, _ = run_cli(capsys, "analytics", "regress", "--json")
+        assert code == 2
+        data = json.loads(out)
+        assert data["ok"] is False and data["hard"] == 1
+        (finding,) = [
+            r for r in data["regressions"] if r["severity"] == "hard"
+        ]
+        assert finding["bench"] == "decoder_n6_c512"
+        assert finding["metric"] == "vector_speedup"
+        assert finding["baseline"] == 123.0
+        assert finding["observed"] == 86.1
+        assert finding["change_pct"] == 30.0
+        assert finding["after"] == "1.0.0 @sha0"
+
+    def test_wall_seconds_only_warn(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = healthy(tmp_path)
+        write_history(
+            path,
+            [
+                {
+                    "decoder_n6_c512": {
+                        "vector_speedup": 124.0,
+                        "serial_s": 5.0,
+                    }
+                }
+            ],
+        )
+        code, out, _ = run_cli(capsys, "analytics", "regress")
+        assert code == 0
+        assert "warn decoder_n6_c512 serial_s rose" in out
+
+    def test_unknown_only_name_fails_fast_one_line(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, err = run_cli(
+            capsys, "analytics", "regress", "--only", "nope"
+        )
+        assert code == 1
+        assert err.startswith("error: unknown bench name(s) ['nope']")
+        assert "decoder_n6_c512" in err
+        assert "Traceback" not in err
+
+    def test_only_and_skip_select_benches(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        path = healthy(tmp_path)
+        write_history(
+            path,
+            [
+                {
+                    "decoder_n6_c512": {"vector_speedup": 10.0},
+                    "other": {"speedup": 2.0},
+                }
+            ],
+        )
+        code, _, _ = run_cli(
+            capsys, "analytics", "regress", "--only", "other"
+        )
+        assert code == 0  # the eroded bench was deselected
+        code, _, _ = run_cli(
+            capsys, "analytics", "regress", "--skip", "other"
+        )
+        assert code == 2
+
+    def test_tolerance_and_window_flags(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        path = healthy(tmp_path)
+        write_history(
+            path, [{"decoder_n6_c512": {"vector_speedup": 100.0}}]
+        )
+        code, _, _ = run_cli(
+            capsys, "analytics", "regress", "--tolerance", "10"
+        )
+        assert code == 2  # ~19% drop vs 10% band
+        code, _, _ = run_cli(
+            capsys, "analytics", "regress", "--tolerance", "30"
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "analytics", "regress", "--window", "1"
+        )
+        assert code == 0  # vs the 126.0 point alone: -20.6% < 25%
+
+    def test_invalid_flags_are_one_line_errors(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, _, err = run_cli(
+            capsys, "analytics", "regress", "--window", "0"
+        )
+        assert code == 1 and "--window must be >= 1" in err
+        code, _, err = run_cli(
+            capsys, "analytics", "regress", "--tolerance", "-3"
+        )
+        assert code == 1 and "--tolerance must be >= 0" in err
+
+    def test_missing_history_glob_is_an_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run_cli(capsys, "analytics", "regress")
+        assert code == 1
+        assert "no history file matches" in err
+
+    def test_verbose_lists_skipped_series(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        write_history(
+            tmp_path / "BENCH_one.history.jsonl",
+            [{"b": {"speedup": 1.0}}],
+        )
+        code, out, _ = run_cli(
+            capsys, "analytics", "regress", "--verbose"
+        )
+        assert code == 0
+        assert "skip b speedup: 1 point(s), no baseline" in out
+
+    def test_json_out_writes_the_file(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, _ = run_cli(
+            capsys,
+            "analytics",
+            "regress",
+            "--json",
+            "--out",
+            "regress.json",
+        )
+        assert code == 0
+        assert "wrote regress.json" in out
+        data = json.loads((tmp_path / "regress.json").read_text())
+        assert data["ok"] is True
+
+
+class TestReport:
+    def test_text_render(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, _ = run_cli(capsys, "analytics", "report")
+        assert code == 0
+        assert "trend analytics — 1 history file(s), 2 series" in out
+
+    def test_out_writes_self_contained_html(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "analytics", "report", "--out", "report.html"
+        )
+        assert code == 0
+        assert "wrote report.html" in out
+        html = (tmp_path / "report.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "decoder_n6_c512" in html
+        assert "<script" not in html
+
+    def test_json_report_shape(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, out, _ = run_cli(capsys, "analytics", "report", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["regress"]["ok"] is True
+        assert len(data["series"]) == 2
+        assert data["sources"]["history_files"]
+
+    def test_empty_sources_still_report(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(capsys, "analytics", "report")
+        assert code == 0
+        assert "0 history file(s), 0 series" in out
+
+    def test_missing_store_is_a_one_line_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run_cli(
+            capsys, "analytics", "report", "--store", "missing-store"
+        )
+        assert code == 1
+        assert "no result store at 'missing-store'" in err
+
+    def test_report_over_a_real_store(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        healthy(tmp_path)
+        code, _, _ = run_cli(
+            capsys,
+            "march",
+            "--store",
+            "store",
+            "--json",
+            "--out",
+            "march.json",
+        )
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys, "analytics", "report", "--store", "store"
+        )
+        assert code == 0
+        assert "store group(s)" in out
+        assert "store march / BehavioralRAM[8x64]" in out
+
+    def test_epilog_documents_the_commands(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro analytics regress" in out
+        assert "repro analytics report --store S" in out
